@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 5 reproduction: communication cost vs number of
+ * destinations for scheme 1 and worst-case scheme 2, N = 1024,
+ * M = 20 (paper Sec. 3.2).
+ *
+ * Prints the analytic series and, for each point, the cost measured
+ * by routing the actual multicast through the simulated omega
+ * network (worst-case strided destination pattern). The two columns
+ * must agree bit-for-bit; the break-even must fall where Table 2
+ * reports it.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analytic/multicast_cost.hh"
+#include "core/experiment.hh"
+#include "net/omega_network.hh"
+
+using namespace mscp;
+
+int
+main()
+{
+    const unsigned N = 1024;
+    const Bits M = 20;
+
+    std::printf("# Figure 5: CC vs n, N=%u, M=%llu\n", N,
+                static_cast<unsigned long long>(M));
+    std::printf("# scheme 2 uses the worst-case (strided) "
+                "destination pattern\n");
+    std::printf("%8s %14s %14s %14s %14s\n", "n", "cc1(eq.2)",
+                "cc1(sim)", "cc2(eq.3)", "cc2(sim)");
+
+    net::OmegaNetwork net(N);
+    for (const auto &pt : core::fig5Series(N, M)) {
+        std::vector<NodeId> dests(pt.n);
+        for (std::uint64_t j = 0; j < pt.n; ++j)
+            dests[j] = static_cast<NodeId>(j * (N / pt.n));
+
+        auto s1 = net.evaluate(net.traceScheme1(0, dests, M));
+        DynamicBitset v(N);
+        for (auto d : dests)
+            v.set(d);
+        auto s2 = net.evaluate(net.traceScheme2(0, v, M));
+
+        std::printf("%8llu %14llu %14llu %14llu %14llu\n",
+                    static_cast<unsigned long long>(pt.n),
+                    static_cast<unsigned long long>(pt.cc1),
+                    static_cast<unsigned long long>(s1.totalBits),
+                    static_cast<unsigned long long>(pt.cc2Worst),
+                    static_cast<unsigned long long>(s2.totalBits));
+    }
+
+    std::printf("\n# break-even (first power-of-two n where scheme "
+                "2 <= scheme 1): %llu\n",
+                static_cast<unsigned long long>(
+                    analytic::breakEvenScheme1Vs2(N, M)));
+    std::printf("# real-valued crossover of the closed forms: "
+                "%.1f\n",
+                analytic::crossoverScheme1Vs2(N, M));
+    return 0;
+}

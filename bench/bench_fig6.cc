@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 6 reproduction: communication cost vs number of
+ * destinations for scheme 1, clustered worst-case scheme 2 and
+ * scheme 3 over the whole cluster; N = 1024, n1 = 128, M = 20
+ * (paper Sec. 3.4).
+ *
+ * Analytic series printed next to the network-simulator
+ * measurement of the same patterns (destinations strided inside
+ * the aligned 128-port cluster).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analytic/multicast_cost.hh"
+#include "core/experiment.hh"
+#include "net/omega_network.hh"
+
+using namespace mscp;
+
+int
+main()
+{
+    const unsigned N = 1024;
+    const unsigned n1 = 128;
+    const Bits M = 20;
+
+    std::printf("# Figure 6: CC vs n, N=%u, n1=%u, M=%llu\n", N, n1,
+                static_cast<unsigned long long>(M));
+    std::printf("%8s %12s %12s %12s %12s %12s %12s %8s\n", "n",
+                "cc1(eq.2)", "cc1(sim)", "cc2'(eq.6)", "cc2'(sim)",
+                "cc3(eq.5)", "cc3(sim)", "best");
+
+    net::OmegaNetwork net(N);
+    std::vector<NodeId> cluster(n1);
+    for (unsigned j = 0; j < n1; ++j)
+        cluster[j] = j;
+    auto s3 = net.evaluate(
+        net.traceScheme3(0, net::Subcube::enclosing(cluster), M));
+
+    for (const auto &pt : core::fig6Series(N, n1, M)) {
+        std::vector<NodeId> dests(pt.n);
+        for (std::uint64_t j = 0; j < pt.n; ++j)
+            dests[j] = static_cast<NodeId>(j * (n1 / pt.n));
+
+        auto s1 = net.evaluate(net.traceScheme1(0, dests, M));
+        DynamicBitset v(N);
+        for (auto d : dests)
+            v.set(d);
+        auto s2 = net.evaluate(net.traceScheme2(0, v, M));
+
+        auto best = analytic::cheapestScheme(pt.n, n1, N, M);
+        std::printf("%8llu %12llu %12llu %12llu %12llu %12llu "
+                    "%12llu %8d\n",
+                    static_cast<unsigned long long>(pt.n),
+                    static_cast<unsigned long long>(pt.cc1),
+                    static_cast<unsigned long long>(s1.totalBits),
+                    static_cast<unsigned long long>(
+                        pt.cc2Clustered),
+                    static_cast<unsigned long long>(s2.totalBits),
+                    static_cast<unsigned long long>(pt.cc3),
+                    static_cast<unsigned long long>(s3.totalBits),
+                    static_cast<int>(best));
+    }
+
+    std::printf("\n# combined scheme (eq. 8) = min of the three "
+                "curves; break-even 2->3 at n=%llu\n",
+                static_cast<unsigned long long>(
+                    analytic::breakEvenScheme2Vs3(n1, N, M)));
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the network substrate:
+ * routing-trace construction and cost evaluation for every scheme,
+ * and the timed store-and-forward layer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "net/omega_network.hh"
+#include "net/timed_network.hh"
+#include "sim/random.hh"
+
+using namespace mscp;
+using namespace mscp::net;
+
+namespace
+{
+
+std::vector<NodeId>
+randomDests(unsigned num_ports, unsigned n, std::uint64_t seed)
+{
+    Random rng(seed);
+    auto s = rng.sampleWithoutReplacement(num_ports, n);
+    return std::vector<NodeId>(s.begin(), s.end());
+}
+
+void
+BM_Unicast(benchmark::State &state)
+{
+    OmegaNetwork net(static_cast<unsigned>(state.range(0)));
+    NodeId dst = net.numPorts() - 1;
+    for (auto _ : state) {
+        auto r = net.unicast(0, dst, 64);
+        benchmark::DoNotOptimize(r.totalBits);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Unicast)->Arg(64)->Arg(1024)->Arg(4096);
+
+void
+BM_MulticastScheme(benchmark::State &state)
+{
+    auto scheme = static_cast<Scheme>(state.range(0));
+    unsigned ports = 1024;
+    unsigned n = static_cast<unsigned>(state.range(1));
+    OmegaNetwork net(ports);
+    auto dests = randomDests(ports, n, 42);
+    for (auto _ : state) {
+        auto r = net.multicast(scheme, 0, dests, 64);
+        benchmark::DoNotOptimize(r.totalBits);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_MulticastScheme)
+    ->Args({1, 16})->Args({1, 256})
+    ->Args({2, 16})->Args({2, 256})
+    ->Args({3, 16})->Args({3, 256})
+    ->Args({4, 16})->Args({4, 256});
+
+void
+BM_EvaluateAllSchemes(benchmark::State &state)
+{
+    unsigned ports = 1024;
+    OmegaNetwork net(ports);
+    auto dests = randomDests(ports, 64, 7);
+    for (auto _ : state) {
+        auto costs = net.evaluateAllSchemes(0, dests, 64);
+        benchmark::DoNotOptimize(costs[0].totalBits);
+    }
+}
+BENCHMARK(BM_EvaluateAllSchemes);
+
+void
+BM_TimedMulticast(benchmark::State &state)
+{
+    OmegaNetwork net(256);
+    EventQueue eq;
+    TimedNetwork tn(net, eq, 16, 1);
+    auto dests = randomDests(256, 32, 3);
+    for (auto _ : state) {
+        tn.sendMulticast(Scheme::VectorRouting, 0, dests, 64,
+                         nullptr);
+        eq.run();
+        tn.resetContention();
+    }
+}
+BENCHMARK(BM_TimedMulticast);
+
+void
+BM_PathComputation(benchmark::State &state)
+{
+    OmegaTopology topo(4096);
+    unsigned d = 0;
+    for (auto _ : state) {
+        auto p = topo.path(17, d);
+        benchmark::DoNotOptimize(p.back());
+        d = (d + 1) & 4095;
+    }
+}
+BENCHMARK(BM_PathComputation);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

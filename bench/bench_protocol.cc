@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the protocol engines:
+ * references per second through each engine on the shared-block
+ * workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.hh"
+#include "net/omega_network.hh"
+#include "proto/dragon.hh"
+#include "proto/full_map.hh"
+#include "proto/no_cache.hh"
+#include "proto/write_once.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+
+using namespace mscp;
+
+namespace
+{
+
+workload::SharedBlockParams
+params(std::uint64_t refs)
+{
+    workload::SharedBlockParams p;
+    p.placement = workload::adjacentPlacement(8);
+    p.writeFraction = 0.3;
+    p.numBlocks = 4;
+    p.blockWords = 4;
+    p.numRefs = refs;
+    return p;
+}
+
+void
+BM_Stenstrom(benchmark::State &state)
+{
+    auto policy = static_cast<core::PolicyKind>(state.range(0));
+    for (auto _ : state) {
+        core::SystemConfig cfg;
+        cfg.numPorts = 64;
+        cfg.geometry = cache::Geometry{4, 16, 2};
+        cfg.policy = policy;
+        core::System sys(cfg);
+        workload::SharedBlockWorkload w(params(4000));
+        auto res = sys.run(w);
+        benchmark::DoNotOptimize(res.networkBits);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4000);
+}
+BENCHMARK(BM_Stenstrom)
+    ->Arg(static_cast<int>(core::PolicyKind::EngineDefault))
+    ->Arg(static_cast<int>(core::PolicyKind::ForceDW))
+    ->Arg(static_cast<int>(core::PolicyKind::Adaptive));
+
+template <typename Proto>
+void
+BM_Baseline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        net::OmegaNetwork net(64);
+        Proto p(net, proto::MessageSizes{}, 4);
+        workload::SharedBlockWorkload w(params(4000));
+        auto res = p.run(w);
+        benchmark::DoNotOptimize(res.networkBits);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4000);
+}
+BENCHMARK_TEMPLATE(BM_Baseline, proto::NoCacheProtocol);
+BENCHMARK_TEMPLATE(BM_Baseline, proto::WriteOnceProtocol);
+BENCHMARK_TEMPLATE(BM_Baseline, proto::FullMapProtocol);
+BENCHMARK_TEMPLATE(BM_Baseline, proto::DragonUpdateProtocol);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulation-level protocol comparison on the paper's workload
+ * model: measured link-bit traffic per reference for every engine
+ * (no-cache, write-once, full-map directory, Dragon-style update,
+ * and the two-mode protocol under its policies), swept over write
+ * fraction w and sharer count n.
+ *
+ * This is the executable generalization of Fig. 8: it shows who
+ * wins where, with real block transfers, ownership moves and
+ * replacement traffic included.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "net/omega_network.hh"
+#include "proto/dragon.hh"
+#include "proto/full_map.hh"
+#include "proto/no_cache.hh"
+#include "proto/write_once.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+
+using namespace mscp;
+
+namespace
+{
+
+constexpr unsigned numPorts = 64;
+constexpr unsigned blockWords = 4;
+constexpr std::uint64_t refsPerRun = 15000;
+
+workload::SharedBlockWorkload
+stream(double w, unsigned tasks)
+{
+    workload::SharedBlockParams p;
+    p.placement = workload::adjacentPlacement(tasks);
+    p.writeFraction = w;
+    p.numBlocks = 4;
+    p.blockWords = blockWords;
+    p.baseAddr = static_cast<Addr>(numPorts - 4) * blockWords;
+    p.numRefs = refsPerRun;
+    return workload::SharedBlockWorkload(p);
+}
+
+double
+perRef(proto::RunResult r)
+{
+    return static_cast<double>(r.networkBits) /
+        static_cast<double>(r.refs);
+}
+
+template <typename Proto>
+double
+runBaseline(double w, unsigned tasks)
+{
+    net::OmegaNetwork net(numPorts);
+    Proto p(net, proto::MessageSizes{}, blockWords);
+    auto s = stream(w, tasks);
+    auto res = p.run(s);
+    if (res.valueErrors)
+        std::printf("# WARNING: %llu value errors\n",
+                    static_cast<unsigned long long>(
+                        res.valueErrors));
+    return perRef(res);
+}
+
+double
+runTwoMode(core::PolicyKind k, double w, unsigned tasks)
+{
+    core::SystemConfig cfg;
+    cfg.numPorts = numPorts;
+    cfg.geometry = cache::Geometry{blockWords, 16, 2};
+    cfg.policy = k;
+    cfg.adaptWindow = 16;
+    core::System sys(cfg);
+    auto s = stream(w, tasks);
+    return perRef(sys.run(s));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("# Protocol traffic comparison (bits per "
+                "reference), N=%u ports, %llu refs/point\n",
+                numPorts,
+                static_cast<unsigned long long>(refsPerRun));
+
+    for (unsigned tasks : {4u, 8u, 16u, 32u}) {
+        std::printf("\n## n = %u sharing tasks\n", tasks);
+        std::printf("%6s %10s %10s %10s %10s %10s %10s %10s\n",
+                    "w", "no-cache", "write-1x", "full-map",
+                    "dragon", "force-dw", "force-gr", "adaptive");
+        for (double w : {0.02, 0.1, 0.2, 0.35, 0.5, 0.75, 0.95}) {
+            std::printf("%6.2f %10.1f %10.1f %10.1f %10.1f %10.1f "
+                        "%10.1f %10.1f\n",
+                        w,
+                        runBaseline<proto::NoCacheProtocol>(w,
+                                                            tasks),
+                        runBaseline<proto::WriteOnceProtocol>(
+                            w, tasks),
+                        runBaseline<proto::FullMapProtocol>(w,
+                                                            tasks),
+                        runBaseline<proto::DragonUpdateProtocol>(
+                            w, tasks),
+                        runTwoMode(core::PolicyKind::ForceDW, w,
+                                   tasks),
+                        runTwoMode(core::PolicyKind::ForceGR, w,
+                                   tasks),
+                        runTwoMode(core::PolicyKind::Adaptive, w,
+                                   tasks));
+        }
+    }
+    std::printf("\n# expected shapes: update protocols (dragon, "
+                "force-dw) grow with w and n; invalidation\n"
+                "# protocols (write-1x, full-map) peak mid-w; "
+                "adaptive tracks the lower envelope of the\n"
+                "# two-mode pair and stays below no-cache.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table 2 reproduction: break-even destination count between
+ * schemes 1 and 2 as a function of message size M and cache count N
+ * (paper Sec. 3.2).
+ *
+ * The paper does not define "break-even" precisely; we print three
+ * related quantities so the comparison is transparent:
+ *   - ours: the smallest power-of-two n with CC2(n) <= CC1(n),
+ *   - crossover: the real-valued intersection of the closed forms,
+ *   - paper: the value printed in the paper's Table 2.
+ * The paper's claimed monotonicity (decreasing in M, increasing in
+ * N) holds for all three.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analytic/multicast_cost.hh"
+#include "core/experiment.hh"
+
+using namespace mscp;
+
+int
+main()
+{
+    const std::vector<std::uint64_t> ms{0, 40, 100};
+    const std::vector<std::uint64_t> ns{64, 128, 256, 512, 1024};
+    // Paper Table 2, rows N=64..1024, columns M=0,40,100.
+    const std::uint64_t paper[5][3] = {
+        {16, 1, 1},
+        {32, 4, 1},
+        {32, 8, 4},
+        {64, 16, 8},
+        {128, 32, 16},
+    };
+
+    std::printf("# Table 2: break-even n between schemes 1 and 2\n");
+    std::printf("%8s | %26s | %26s | %26s\n", "",
+                "M=0", "M=40", "M=100");
+    std::printf("%8s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+                "N", "ours", "cross", "paper", "ours", "cross",
+                "paper", "ours", "cross", "paper");
+
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        std::printf("%8llu |",
+                    static_cast<unsigned long long>(ns[i]));
+        for (std::size_t j = 0; j < ms.size(); ++j) {
+            auto be = analytic::breakEvenScheme1Vs2(ns[i], ms[j]);
+            double x = analytic::crossoverScheme1Vs2(
+                static_cast<double>(ns[i]),
+                static_cast<double>(ms[j]));
+            std::printf(" %8llu %8.1f %8llu %s",
+                        static_cast<unsigned long long>(be), x,
+                        static_cast<unsigned long long>(
+                            paper[i][j]),
+                        j + 1 < ms.size() ? "|" : "");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n# shape checks (paper's claims):\n");
+    bool dec_m = true, inc_n = true;
+    for (auto N : ns) {
+        std::uint64_t prev = analytic::breakEvenScheme1Vs2(N, 0);
+        for (auto M : std::vector<std::uint64_t>{40, 100}) {
+            auto be = analytic::breakEvenScheme1Vs2(N, M);
+            dec_m = dec_m && be <= prev;
+            prev = be;
+        }
+    }
+    for (auto M : ms) {
+        std::uint64_t prev = analytic::breakEvenScheme1Vs2(64, M);
+        for (auto N : std::vector<std::uint64_t>{128, 256, 512,
+                                                 1024}) {
+            auto be = analytic::breakEvenScheme1Vs2(N, M);
+            inc_n = inc_n && be >= prev;
+            prev = be;
+        }
+    }
+    std::printf("# break-even decreases with M: %s\n",
+                dec_m ? "yes" : "NO");
+    std::printf("# break-even increases with N: %s\n",
+                inc_n ? "yes" : "NO");
+    return 0;
+}

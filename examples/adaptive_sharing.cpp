@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Watch the Sec. 5 adaptive policy follow a phase-changing
+ * workload: the same shared block is read-mostly in one phase and
+ * write-heavy in the next, and the per-block mode flips with it.
+ *
+ * Also demonstrates the counter mechanism directly: the policy
+ * estimates w from a reference window, reads n off the owner's
+ * present-flag vector, and compares against w1 = 2/(n+2).
+ */
+
+#include <cstdio>
+
+#include "analytic/protocol_cost.hh"
+#include "core/system.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+
+using namespace mscp;
+
+namespace
+{
+
+void
+phase(core::System &sys, const char *label, double write_fraction,
+      std::uint64_t refs, std::uint64_t seed)
+{
+    workload::SharedBlockParams p;
+    p.placement = workload::adjacentPlacement(8);
+    p.writeFraction = write_fraction;
+    p.numBlocks = 1;
+    p.blockWords = 4;
+    p.baseAddr = 15 * 4;
+    p.numRefs = refs;
+    p.seed = seed;
+    workload::SharedBlockWorkload w(p);
+
+    Bits before = sys.network().linkStats().totalBits();
+    auto res = sys.run(w);
+    Bits bits = sys.network().linkStats().totalBits() - before;
+
+    cache::Mode mode;
+    bool cached = sys.protocol().blockMode(p.baseAddr, mode);
+    unsigned sharers = sys.protocol().presentCount(p.baseAddr);
+    double w1 = analytic::wThreshold(sharers);
+
+    std::printf("%-22s w=%.2f  ->  mode=%-17s sharers=%u "
+                "(w1=%.2f)  %8.1f bits/ref  switches so far=%llu\n",
+                label, write_fraction,
+                cached ? cache::modeName(mode) : "uncached",
+                sharers, w1,
+                static_cast<double>(bits) /
+                    static_cast<double>(res.refs),
+                static_cast<unsigned long long>(
+                    sys.policy().switchesIssued()));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    core::SystemConfig cfg;
+    cfg.numPorts = 16;
+    cfg.geometry = cache::Geometry{4, 8, 2};
+    cfg.policy = core::PolicyKind::Adaptive;
+    cfg.adaptWindow = 16;
+    core::System sys(cfg);
+
+    std::printf("phase-changing sharing on one block, 8 tasks, "
+                "adaptive window %llu refs\n\n",
+                static_cast<unsigned long long>(cfg.adaptWindow));
+
+    phase(sys, "read-mostly phase", 0.03, 4000, 1);
+    phase(sys, "write-heavy phase", 0.80, 4000, 2);
+    phase(sys, "read-mostly again", 0.03, 4000, 3);
+    phase(sys, "mixed phase", 0.30, 4000, 4);
+
+    std::printf("\nThe block's mode tracks each phase: distributed "
+                "write while w <= w1, global read\nwhile w > w1, "
+                "exactly the two counters + threshold mechanism "
+                "of the paper's Sec. 5.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The message-level concurrent engine in action: the same shared
+ * workload runs with genuinely overlapping transactions, and the
+ * report shows what concurrency adds - queueing at the home
+ * modules, NACKed owner-pointer bypasses, hand-offs under load -
+ * while the linearizability monitor guarantees the values stay
+ * correct.
+ *
+ *   ./concurrent_demo [ports] [tasks] [writeFraction]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/omega_network.hh"
+#include "proto/concurrent.hh"
+#include "workload/patterns.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+
+using namespace mscp;
+
+int
+main(int argc, char **argv)
+{
+    unsigned ports = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1])) : 32;
+    unsigned tasks = argc > 2
+        ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+    double wfrac = argc > 3 ? std::atof(argv[3]) : 0.3;
+
+    net::OmegaNetwork net(ports);
+    proto::ConcurrentParams params;
+    params.geometry = cache::Geometry{4, 8, 2};
+    params.defaultMode = cache::Mode::DistributedWrite;
+    proto::ConcurrentProtocol engine(net, params);
+
+    // Phase 1: the paper's one-writer-per-block model. Ownership
+    // settles on the writers and never moves afterwards.
+    workload::SharedBlockParams wp;
+    wp.placement = workload::adjacentPlacement(tasks);
+    wp.writeFraction = wfrac;
+    wp.numBlocks = 4;
+    wp.blockWords = 4;
+    wp.baseAddr = static_cast<Addr>(ports - 4) * 4;
+    wp.numRefs = 8000;
+    workload::SharedBlockWorkload stream(wp);
+
+    std::printf("concurrent two-mode protocol: N=%u ports, %u "
+                "tasks, w=%.2f, %llu + 2000 refs\n\n", ports,
+                tasks, wfrac,
+                static_cast<unsigned long long>(wp.numRefs));
+
+    auto res = engine.run(stream);
+
+    // Phase 2: a hot-spot block every task writes - the expensive
+    // case the paper's Sec. 5 warns about ("for applications where
+    // several tasks can modify a block ... ownership will change").
+    workload::HotSpotParams hp;
+    hp.placement = workload::adjacentPlacement(tasks);
+    hp.writeFraction = 0.5;
+    hp.blockWords = 4;
+    hp.baseAddr = static_cast<Addr>(ports - 5) * 4;
+    hp.numRefs = 2000;
+    workload::HotSpotWorkload hot(hp);
+    auto res2 = engine.run(hot);
+    res.makespan += res2.makespan;
+    res.networkBits += res2.networkBits;
+    res.valueErrors += res2.valueErrors;
+    const auto &c = engine.counters();
+
+    std::printf("completed in %llu ticks; %llu value errors\n",
+                static_cast<unsigned long long>(res.makespan),
+                static_cast<unsigned long long>(res.valueErrors));
+    std::printf("avg latency: reads %.1f ticks, writes %.1f "
+                "ticks\n", res.avgReadLatency,
+                res.avgWriteLatency);
+    std::printf("network: %llu bits (the paper's CC metric)\n\n",
+                static_cast<unsigned long long>(res.networkBits));
+
+    std::printf("what concurrency added:\n");
+    std::printf("  transactions queued at busy homes: %llu\n",
+                static_cast<unsigned long long>(c.homeQueued));
+    std::printf("  owner-pointer bypasses: %llu (%llu raced and "
+                "were NACKed)\n",
+                static_cast<unsigned long long>(c.pointerReads),
+                static_cast<unsigned long long>(c.pointerNacks));
+    std::printf("  ownership transfers: %llu, hand-offs on "
+                "eviction: %llu (nacks: %llu)\n",
+                static_cast<unsigned long long>(
+                    c.ownershipTransfers),
+                static_cast<unsigned long long>(c.handoffs),
+                static_cast<unsigned long long>(c.handoffNacks));
+    std::printf("  distributed-write update multicasts: %llu "
+                "(each acknowledged by every copy)\n",
+                static_cast<unsigned long long>(c.dwUpdates));
+    std::printf("  forwards that met requester==owner (request "
+                "overtaken by a hand-off): %llu\n",
+                static_cast<unsigned long long>(c.selfForwards));
+    return res.valueErrors ? 1 : 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * A real parallel computation on the simulated machine: Jacobi
+ * relaxation of a 1-D heat equation where every array element lives
+ * in the coherent shared memory and every access goes through the
+ * protocol.
+ *
+ * This is the paper's motivating application class ("algorithms
+ * based on matrix operations" where each block is modified by at
+ * most one task): the interior of each task's partition never
+ * migrates, only the boundary elements are shared, and ownership
+ * settles after the first sweep.
+ *
+ * The example checks the parallel result against a sequential
+ * solve, then compares the network traffic of the two operating
+ * modes.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace
+{
+
+using namespace mscp;
+
+constexpr unsigned tasks = 4;
+constexpr unsigned cells = 64;     // grid points
+constexpr unsigned sweeps = 50;
+constexpr double leftBc = 0.0;     // boundary conditions
+constexpr double rightBc = 100.0;
+
+/** Fixed-point encoding so values travel as 64-bit words. */
+std::uint64_t
+encode(double v)
+{
+    return static_cast<std::uint64_t>(llround(v * 1e6));
+}
+
+double
+decode(std::uint64_t bits)
+{
+    return static_cast<double>(bits) / 1e6;
+}
+
+/** Sequential reference solution. */
+std::vector<double>
+solveSequential()
+{
+    std::vector<double> t(cells, 0.0), next(cells, 0.0);
+    t.front() = leftBc;
+    t.back() = rightBc;
+    for (unsigned s = 0; s < sweeps; ++s) {
+        next = t;
+        for (unsigned i = 1; i + 1 < cells; ++i)
+            next[i] = 0.5 * (t[i - 1] + t[i + 1]);
+        t.swap(next);
+    }
+    return t;
+}
+
+/**
+ * Parallel Jacobi through the coherence protocol. Two arrays (t and
+ * next) live in shared memory; each task owns a contiguous slice.
+ *
+ * @return total network bits moved
+ */
+Bits
+solveParallel(core::PolicyKind policy,
+              std::vector<double> &result)
+{
+    core::SystemConfig cfg;
+    cfg.numPorts = 8;
+    cfg.geometry = cache::Geometry{4, 16, 2};
+    cfg.policy = policy;
+    core::System sys(cfg);
+    auto &p = sys.protocol();
+
+    // Issue accesses through the protocol, letting the configured
+    // mode policy observe every reference (what System::run does
+    // for generated workloads).
+    auto rd = [&](NodeId cpu, Addr a) {
+        std::uint64_t v = p.read(cpu, a);
+        sys.policy().afterRef(p, {cpu, a, false, 0});
+        return v;
+    };
+    auto wr = [&](NodeId cpu, Addr a, std::uint64_t v) {
+        p.write(cpu, a, v);
+        sys.policy().afterRef(p, {cpu, a, true, v});
+    };
+
+    const Addr t_base = 0;
+    const Addr next_base = cells;
+    const unsigned slice = cells / tasks;
+
+    // Initialize (each task writes its own slice = first touch).
+    for (unsigned task = 0; task < tasks; ++task) {
+        for (unsigned i = task * slice; i < (task + 1) * slice;
+             ++i) {
+            double v = (i == 0) ? leftBc
+                : (i == cells - 1) ? rightBc : 0.0;
+            wr(task, t_base + i, encode(v));
+            wr(task, next_base + i, encode(v));
+        }
+    }
+
+    for (unsigned s = 0; s < sweeps; ++s) {
+        Addr src = (s % 2 == 0) ? t_base : next_base;
+        Addr dst = (s % 2 == 0) ? next_base : t_base;
+        // Each task updates its interior cells, reading neighbour
+        // values (boundary reads cross into other tasks' slices).
+        for (unsigned task = 0; task < tasks; ++task) {
+            for (unsigned i = task * slice;
+                 i < (task + 1) * slice; ++i) {
+                if (i == 0 || i == cells - 1) {
+                    wr(task, dst + i, rd(task, src + i));
+                    continue;
+                }
+                double l = decode(rd(task, src + i - 1));
+                double r = decode(rd(task, src + i + 1));
+                wr(task, dst + i, encode(0.5 * (l + r)));
+            }
+        }
+    }
+
+    Addr final_base = (sweeps % 2 == 0) ? t_base : next_base;
+    result.resize(cells);
+    for (unsigned i = 0; i < cells; ++i)
+        result[i] = decode(rd(0, final_base + i));
+
+    if (p.valueErrors())
+        std::printf("!! coherence violation detected\n");
+    return sys.network().linkStats().totalBits();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    auto ref = solveSequential();
+
+    std::printf("1-D Jacobi heat solve: %u cells, %u tasks, %u "
+                "sweeps, boundary %.0f..%.0f\n\n",
+                cells, tasks, sweeps, leftBc, rightBc);
+    std::printf("%-28s %16s %12s\n", "mode policy", "network bits",
+                "max error");
+
+    struct Run { const char *name; mscp::core::PolicyKind kind; };
+    for (auto [name, kind] : {
+             Run{"global read (default)",
+                 mscp::core::PolicyKind::EngineDefault},
+             Run{"distributed write",
+                 mscp::core::PolicyKind::ForceDW},
+             Run{"adaptive (Sec. 5)",
+                 mscp::core::PolicyKind::Adaptive}}) {
+        std::vector<double> got;
+        auto bits = solveParallel(kind, got);
+        double err = 0;
+        for (unsigned i = 0; i < cells; ++i)
+            err = std::max(err, std::fabs(got[i] - ref[i]));
+        std::printf("%-28s %16llu %12.2e\n", name,
+                    static_cast<unsigned long long>(bits), err);
+    }
+
+    std::printf("\nEvery mode computes the same answer; they only "
+                "differ in traffic. Here global\nread wins: each "
+                "shared boundary block is rewritten wholesale "
+                "every sweep (high\nper-block w) while the "
+                "neighbour task reads just one word of it, so "
+                "fetching the\ndatum beats multicasting every "
+                "write - and the adaptive policy discovers that\n"
+                "on its own from the reference counters.\n");
+    return 0;
+}

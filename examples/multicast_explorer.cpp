@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Interactive explorer for the Sec. 3 multicast schemes: pick a
+ * network size, message size and destination pattern on the
+ * command line and see the cost of every scheme, the per-stage
+ * traffic breakdown (eq. 1's L_i), the oracle choice and the
+ * Sec. 5 break-even registers' choice.
+ *
+ *   ./multicast_explorer [N] [M] [pattern] [n] [n1]
+ *
+ *   pattern: strided | cluster | random    (default: cluster)
+ *   N: ports (default 1024)   M: payload bits (default 20)
+ *   n: destinations (default 16)  n1: cluster size (default 128)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scheme_select.hh"
+#include "net/omega_network.hh"
+#include "sim/random.hh"
+
+using namespace mscp;
+
+int
+main(int argc, char **argv)
+{
+    unsigned num_ports = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1])) : 1024;
+    Bits message = argc > 2
+        ? static_cast<Bits>(std::atoll(argv[2])) : 20;
+    std::string pattern = argc > 3 ? argv[3] : "cluster";
+    unsigned n = argc > 4
+        ? static_cast<unsigned>(std::atoi(argv[4])) : 16;
+    unsigned n1 = argc > 5
+        ? static_cast<unsigned>(std::atoi(argv[5])) : 128;
+
+    if (!isPowerOfTwo(num_ports) || n == 0 || n > num_ports) {
+        std::fprintf(stderr, "usage: %s [N pow2] [M] "
+                     "[strided|cluster|random] [n] [n1]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    std::vector<NodeId> dests;
+    if (pattern == "strided") {
+        for (unsigned j = 0; j < n; ++j)
+            dests.push_back(j * (num_ports / n));
+    } else if (pattern == "random") {
+        Random rng(1234);
+        auto s = rng.sampleWithoutReplacement(num_ports, n);
+        dests.assign(s.begin(), s.end());
+    } else {
+        for (unsigned j = 0; j < n; ++j)
+            dests.push_back(j * (n1 / n < 1 ? 1 : n1 / n));
+    }
+
+    net::OmegaNetwork net(num_ports);
+    std::printf("omega network: N=%u ports, %u stages, pattern=%s, "
+                "n=%u destinations, M=%llu bits\n\n",
+                num_ports, net.numStages(), pattern.c_str(), n,
+                static_cast<unsigned long long>(message));
+
+    auto costs = net.evaluateAllSchemes(0, dests, message);
+    for (const auto &r : costs) {
+        std::printf("%-22s total CC = %8llu bits",
+                    net::schemeName(r.used),
+                    static_cast<unsigned long long>(r.totalBits));
+        if (r.overshoot)
+            std::printf("  (+%u overshoot deliveries)",
+                        r.overshoot);
+        std::printf("\n  per-stage L_i:");
+        for (auto b : r.bitsPerLevel)
+            std::printf(" %llu", static_cast<unsigned long long>(b));
+        std::printf("\n");
+    }
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < costs.size(); ++i)
+        if (costs[i].totalBits < costs[best].totalBits)
+            best = i;
+    std::printf("\noracle (combined scheme, eq. 8): %s\n",
+                net::schemeName(costs[best].used));
+
+    if (isPowerOfTwo(n1) && n1 <= num_ports) {
+        auto regs = core::SchemeRegisters::compute(num_ports, n1,
+                                                   message);
+        std::printf("Sec. 5 registers for n1=%u: break-even "
+                    "1->2 at n=%llu, 2->3 at n=%llu; they pick: "
+                    "%s\n", n1,
+                    static_cast<unsigned long long>(
+                        regs.breakEven12),
+                    static_cast<unsigned long long>(
+                        regs.breakEven23),
+                    net::schemeName(regs.choose(n)));
+    }
+    return 0;
+}

@@ -1,0 +1,220 @@
+#include "multicast_cost.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mscp::analytic
+{
+
+namespace
+{
+
+void
+checkPow2(std::uint64_t v, const char *what)
+{
+    panic_if(!isPowerOfTwo(v), "%s must be a power of two, got %llu",
+             what, static_cast<unsigned long long>(v));
+}
+
+double
+lg(double x)
+{
+    return std::log2(x);
+}
+
+} // anonymous namespace
+
+std::uint64_t
+cc1Series(std::uint64_t n, std::uint64_t N, std::uint64_t M)
+{
+    checkPow2(N, "N");
+    std::uint64_t m = log2Exact(N);
+    // Each of the n messages crosses m+1 link levels; the level-i
+    // link carries the payload plus the m-i remaining tag bits.
+    std::uint64_t per_path = 0;
+    for (std::uint64_t i = 0; i <= m; ++i)
+        per_path += (m - i) + M;
+    return n * per_path;
+}
+
+std::uint64_t
+cc2WorstSeries(std::uint64_t n, std::uint64_t N, std::uint64_t M)
+{
+    checkPow2(n, "n");
+    checkPow2(N, "N");
+    panic_if(n > N, "n > N");
+    std::uint64_t m = log2Exact(N);
+    std::uint64_t k = log2Exact(n);
+    // The tree forks at every switch of stages 0..k-1 (2^i links to
+    // stage i for i <= k), then runs 2^k parallel paths.
+    std::uint64_t cc = 0;
+    for (std::uint64_t i = 0; i <= k; ++i)
+        cc += (std::uint64_t{1} << i) * (M + (N >> i));
+    for (std::uint64_t i = k + 1; i <= m; ++i)
+        cc += n * (M + (N >> i));
+    return cc;
+}
+
+std::uint64_t
+cc2BestSeries(std::uint64_t n, std::uint64_t N, std::uint64_t M)
+{
+    checkPow2(n, "n");
+    checkPow2(N, "N");
+    panic_if(n > N, "n > N");
+    std::uint64_t m = log2Exact(N);
+    std::uint64_t k = log2Exact(n);
+    // Neighbouring destinations: one path for the first m-k stages,
+    // forking only in the last k.
+    std::uint64_t cc = 0;
+    for (std::uint64_t i = 0; i <= m - k; ++i)
+        cc += M + (N >> i);
+    for (std::uint64_t i = m - k + 1; i <= m; ++i)
+        cc += (std::uint64_t{1} << (i - (m - k))) * (M + (N >> i));
+    return cc;
+}
+
+std::uint64_t
+cc2ClusteredSeries(std::uint64_t n, std::uint64_t n1,
+                   std::uint64_t N, std::uint64_t M)
+{
+    checkPow2(n, "n");
+    checkPow2(n1, "n1");
+    checkPow2(N, "N");
+    panic_if(n > n1 || n1 > N, "need n <= n1 <= N");
+    std::uint64_t m = log2Exact(N);
+    std::uint64_t l = log2Exact(n1);
+    std::uint64_t k = log2Exact(n);
+    // Series above eq. 6: single path down to the cluster (stages
+    // 0..m-l-1), worst-case forking inside the cluster for k+1
+    // stages, then n parallel paths.
+    std::uint64_t cc = 0;
+    for (std::uint64_t i = 0; i + l < m; ++i)
+        cc += M + (N >> i);
+    for (std::uint64_t i = m - l; i <= m - l + k; ++i)
+        cc += (std::uint64_t{1} << (i - (m - l))) * (M + (N >> i));
+    for (std::uint64_t i = m - l + k + 1; i <= m; ++i)
+        cc += n * (M + (N >> i));
+    return cc;
+}
+
+std::uint64_t
+cc3Series(std::uint64_t n1, std::uint64_t N, std::uint64_t M)
+{
+    checkPow2(n1, "n1");
+    checkPow2(N, "N");
+    panic_if(n1 > N, "n1 > N");
+    std::uint64_t m = log2Exact(N);
+    std::uint64_t l = log2Exact(n1);
+    // Table above eq. 5: one path for stages 0..m-l, broadcasting in
+    // the last l stages. The level-i link carries M + 2(m-i) tag
+    // bits.
+    std::uint64_t cc = 0;
+    for (std::uint64_t i = 0; i <= m - l; ++i)
+        cc += M + 2 * (m - i);
+    for (std::uint64_t i = m - l + 1; i <= m; ++i)
+        cc += (std::uint64_t{1} << (i - (m - l))) * (M + 2 * (m - i));
+    return cc;
+}
+
+std::uint64_t
+cc4Series(std::uint64_t n, std::uint64_t n1, std::uint64_t N,
+          std::uint64_t M)
+{
+    return std::min({cc1Series(n, N, M),
+                     cc2ClusteredSeries(n, n1, N, M),
+                     cc3Series(n1, N, M)});
+}
+
+double
+cc1Closed(double n, double N, double M)
+{
+    return n * (lg(N) + 1) * (2 * M + lg(N)) / 2;
+}
+
+double
+cc2WorstClosed(double n, double N, double M)
+{
+    return n * (M * lg(N) - M * lg(n) + 2 * M - 1) +
+        N * (lg(n) + 2) - M;
+}
+
+double
+cc2ClusteredClosed(double n, double n1, double N, double M)
+{
+    return n * (M * lg(n1) - M * lg(n) + 2 * M - 1) +
+        n1 * lg(n) + M * (lg(N) - lg(n1) - 1) + 2 * N;
+}
+
+double
+cc3Closed(double n1, double N, double M)
+{
+    return n1 * (2 * M + 4) - lg(n1) * (lg(n1) + M + 3) +
+        lg(N) * (lg(N) + M + 1) - M - 4;
+}
+
+BestScheme
+cheapestScheme(std::uint64_t n, std::uint64_t n1, std::uint64_t N,
+               std::uint64_t M)
+{
+    std::uint64_t c1 = cc1Series(n, N, M);
+    std::uint64_t c2 = cc2ClusteredSeries(n, n1, N, M);
+    std::uint64_t c3 = cc3Series(n1, N, M);
+    if (c1 <= c2 && c1 <= c3)
+        return BestScheme::Scheme1;
+    if (c2 <= c3)
+        return BestScheme::Scheme2;
+    return BestScheme::Scheme3;
+}
+
+std::uint64_t
+breakEvenScheme1Vs2(std::uint64_t N, std::uint64_t M)
+{
+    for (std::uint64_t n = 1; n <= N; n <<= 1) {
+        if (cc2WorstSeries(n, N, M) <= cc1Series(n, N, M))
+            return n;
+    }
+    return 0;
+}
+
+std::uint64_t
+breakEvenScheme2Vs3(std::uint64_t n1, std::uint64_t N,
+                    std::uint64_t M)
+{
+    std::uint64_t c3 = cc3Series(n1, N, M);
+    for (std::uint64_t n = 1; n <= n1; n <<= 1) {
+        if (c3 <= cc2ClusteredSeries(n, n1, N, M))
+            return n;
+    }
+    return 0;
+}
+
+double
+crossoverScheme1Vs2(double N, double M)
+{
+    auto diff = [&](double n) {
+        return cc2WorstClosed(n, N, M) - cc1Closed(n, N, M);
+    };
+    double lo = 1.0;
+    double hi = N;
+    double f_lo = diff(lo);
+    double f_hi = diff(hi);
+    if (f_lo * f_hi > 0)
+        return 0.0;
+    for (int it = 0; it < 200; ++it) {
+        double mid = 0.5 * (lo + hi);
+        double f_mid = diff(mid);
+        if (f_lo * f_mid <= 0) {
+            hi = mid;
+            f_hi = f_mid;
+        } else {
+            lo = mid;
+            f_lo = f_mid;
+        }
+    }
+    (void)f_hi;
+    return 0.5 * (lo + hi);
+}
+
+} // namespace mscp::analytic

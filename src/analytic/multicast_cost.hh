@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Closed-form communication costs of the multicast schemes (Sec. 3).
+ *
+ * Two families of functions are provided:
+ *
+ *  - *Series* functions evaluate the exact per-stage sums the paper
+ *    tabulates (the tables above eqs. 3, 5 and the sum above eq. 6).
+ *    They are defined for power-of-two n and are the ground truth the
+ *    network simulator is verified against.
+ *
+ *  - *Closed* functions evaluate the reduced closed-form expressions
+ *    exactly as printed in the paper (eqs. 2, 3, 5, 6). All four
+ *    reductions are exact for power-of-two n (the intermediate sum
+ *    printed above eq. 5 has a typo - a constant l-1 where l-1-i is
+ *    meant - but the final eq. 5 is correct); the property tests in
+ *    tests/analytic/ verify closed == series everywhere.
+ *
+ * Parameter names follow the paper: N = number of caches (network
+ * ports), n = number of destinations, n1 = cluster size (maximum
+ * number of tasks, placed on adjacent processors), M = message
+ * payload size in bits.
+ */
+
+#ifndef MSCP_ANALYTIC_MULTICAST_COST_HH
+#define MSCP_ANALYTIC_MULTICAST_COST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mscp::analytic
+{
+
+/** @{ Exact per-stage series (ground truth; power-of-two n). */
+
+/** Scheme 1 (eq. 2): n destination-tag unicasts. */
+std::uint64_t cc1Series(std::uint64_t n, std::uint64_t N,
+                        std::uint64_t M);
+
+/**
+ * Scheme 2, worst case (table above eq. 3): the destination vector
+ * forks at every switch of the first k+1 stages, n = 2^k.
+ */
+std::uint64_t cc2WorstSeries(std::uint64_t n, std::uint64_t N,
+                             std::uint64_t M);
+
+/**
+ * Scheme 2, best case: all n destinations are neighbours, so the
+ * vector follows a single path for the first m-k stages and forks
+ * only in the last k.
+ */
+std::uint64_t cc2BestSeries(std::uint64_t n, std::uint64_t N,
+                            std::uint64_t M);
+
+/**
+ * Scheme 2, clustered worst case (series above eq. 6): destinations
+ * lie inside a cluster of n1 adjacent ports, n = 2^k <= n1 = 2^l.
+ */
+std::uint64_t cc2ClusteredSeries(std::uint64_t n, std::uint64_t n1,
+                                 std::uint64_t N, std::uint64_t M);
+
+/**
+ * Scheme 3 (table above eq. 5): broadcast-tag multicast to n1 = 2^l
+ * neighbouring destinations.
+ */
+std::uint64_t cc3Series(std::uint64_t n1, std::uint64_t N,
+                        std::uint64_t M);
+
+/**
+ * Combined scheme (eq. 8): min of scheme 1 on the n actual
+ * destinations, clustered scheme 2, and scheme 3 covering the
+ * whole n1-cluster.
+ */
+std::uint64_t cc4Series(std::uint64_t n, std::uint64_t n1,
+                        std::uint64_t N, std::uint64_t M);
+
+/** @} */
+
+/** @{ Closed forms exactly as printed in the paper. */
+
+/** Eq. 2: n(log N + 1)(2M + log N) / 2. */
+double cc1Closed(double n, double N, double M);
+
+/** Eq. 3: worst-case scheme 2. */
+double cc2WorstClosed(double n, double N, double M);
+
+/** Eq. 6: clustered worst-case scheme 2. */
+double cc2ClusteredClosed(double n, double n1, double N, double M);
+
+/** Eq. 5: scheme 3 (exact for power-of-two n1). */
+double cc3Closed(double n1, double N, double M);
+
+/** @} */
+
+/** Which scheme an experiment row selects. */
+enum class BestScheme : int
+{
+    Scheme1 = 1,
+    Scheme2 = 2,
+    Scheme3 = 3,
+};
+
+/**
+ * Cheapest scheme for n of n1 clustered destinations (Tables 3/4),
+ * computed from the exact series. Ties break toward the lower
+ * scheme number, matching eq. 8's min.
+ */
+BestScheme cheapestScheme(std::uint64_t n, std::uint64_t n1,
+                          std::uint64_t N, std::uint64_t M);
+
+/**
+ * Break-even between schemes 1 and 2 (Table 2): the smallest
+ * power-of-two n for which worst-case scheme 2 is no more expensive
+ * than scheme 1. Returns N+... never exceeds N; if scheme 2 never
+ * wins up to n = N, returns 0.
+ */
+std::uint64_t breakEvenScheme1Vs2(std::uint64_t N, std::uint64_t M);
+
+/**
+ * Break-even between schemes 2 and 3 within an n1-cluster: smallest
+ * power-of-two n for which scheme 3 (cost fixed at cc3(n1)) is no
+ * more expensive than clustered scheme 2. Returns 0 if scheme 3
+ * never wins for n <= n1.
+ */
+std::uint64_t breakEvenScheme2Vs3(std::uint64_t n1, std::uint64_t N,
+                                  std::uint64_t M);
+
+/**
+ * Real-valued crossover n* where the closed forms of schemes 1 and 2
+ * (worst case) intersect, found by bisection on [1, N]. Returns 0 if
+ * no crossover exists in that interval.
+ */
+double crossoverScheme1Vs2(double N, double M);
+
+} // namespace mscp::analytic
+
+#endif // MSCP_ANALYTIC_MULTICAST_COST_HH

@@ -1,0 +1,104 @@
+#include "radix_cost.hh"
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mscp::analytic
+{
+
+namespace
+{
+
+/** m = log_a N; panics unless N is an exact power of a. */
+unsigned
+logRadix(std::uint64_t N, unsigned radix)
+{
+    panic_if(radix < 2, "radix must be >= 2");
+    unsigned m = 0;
+    std::uint64_t v = 1;
+    while (v < N) {
+        v *= radix;
+        ++m;
+    }
+    panic_if(v != N, "N=%llu is not a power of radix %u",
+             static_cast<unsigned long long>(N), radix);
+    return m;
+}
+
+unsigned
+digitBits(unsigned radix)
+{
+    unsigned b = 0;
+    while ((1u << b) < radix)
+        ++b;
+    return b;
+}
+
+std::uint64_t
+powU(std::uint64_t base, unsigned exp)
+{
+    std::uint64_t v = 1;
+    while (exp--)
+        v *= base;
+    return v;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+cc1SeriesRadix(std::uint64_t n, std::uint64_t N, unsigned radix,
+               std::uint64_t M)
+{
+    unsigned m = logRadix(N, radix);
+    std::uint64_t db = digitBits(radix);
+    std::uint64_t per_path = 0;
+    for (unsigned i = 0; i <= m; ++i)
+        per_path += (m - i) * db + M;
+    return n * per_path;
+}
+
+std::uint64_t
+cc2WorstSeriesRadix(std::uint64_t n, std::uint64_t N, unsigned radix,
+                    std::uint64_t M)
+{
+    unsigned m = logRadix(N, radix);
+    unsigned k = logRadix(n, radix);
+    panic_if(n > N, "n > N");
+    std::uint64_t cc = 0;
+    for (unsigned i = 0; i <= k; ++i)
+        cc += powU(radix, i) * (M + N / powU(radix, i));
+    for (unsigned i = k + 1; i <= m; ++i)
+        cc += n * (M + N / powU(radix, i));
+    return cc;
+}
+
+std::uint64_t
+cc3SeriesRadix(std::uint64_t n1, std::uint64_t N, unsigned radix,
+               std::uint64_t M)
+{
+    unsigned m = logRadix(N, radix);
+    unsigned l = logRadix(n1, radix);
+    panic_if(n1 > N, "n1 > N");
+    std::uint64_t tag = 1 + digitBits(radix);
+    std::uint64_t cc = 0;
+    for (unsigned i = 0; i + l <= m; ++i)
+        cc += M + (m - i) * tag;
+    for (unsigned i = m - l + 1; i <= m; ++i)
+        cc += powU(radix, i - (m - l)) * (M + (m - i) * tag);
+    return cc;
+}
+
+std::uint64_t
+breakEvenScheme1Vs2Radix(std::uint64_t N, unsigned radix,
+                         std::uint64_t M)
+{
+    for (std::uint64_t n = 1; n <= N; n *= radix) {
+        if (cc2WorstSeriesRadix(n, N, radix, M) <=
+            cc1SeriesRadix(n, N, radix, M)) {
+            return n;
+        }
+    }
+    return 0;
+}
+
+} // namespace mscp::analytic

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Multicast cost series generalized to radix-a omega networks.
+ *
+ * The paper derives eqs. 2, 3, 5 for 2 x 2 switches and notes the
+ * results generalize; these are the generalized per-stage sums,
+ * using the radix network's header model: scheme 1 carries
+ * (m - i) x ceil(log2 a) routing bits at level i, scheme 2 the
+ * N/a^i-element subvector, scheme 3 (m - i) x (1 + ceil(log2 a))
+ * tag bits. Radix 2 reproduces the binary series exactly (tested).
+ */
+
+#ifndef MSCP_ANALYTIC_RADIX_COST_HH
+#define MSCP_ANALYTIC_RADIX_COST_HH
+
+#include <cstdint>
+
+namespace mscp::analytic
+{
+
+/** Scheme 1 on a radix-a network: n digit-routed unicasts. */
+std::uint64_t cc1SeriesRadix(std::uint64_t n, std::uint64_t N,
+                             unsigned radix, std::uint64_t M);
+
+/**
+ * Scheme 2 worst case on a radix-a network: the vector forks into
+ * all a outputs at every switch of the first k+1 stages, n = a^k.
+ */
+std::uint64_t cc2WorstSeriesRadix(std::uint64_t n, std::uint64_t N,
+                                  unsigned radix, std::uint64_t M);
+
+/**
+ * Scheme 3 on a radix-a network: broadcast-digit multicast to
+ * n1 = a^l neighbouring destinations.
+ */
+std::uint64_t cc3SeriesRadix(std::uint64_t n1, std::uint64_t N,
+                             unsigned radix, std::uint64_t M);
+
+/**
+ * Break-even between schemes 1 and 2 on a radix-a network: the
+ * smallest n = a^k with CC2 <= CC1 (0 if scheme 2 never wins).
+ */
+std::uint64_t breakEvenScheme1Vs2Radix(std::uint64_t N,
+                                       unsigned radix,
+                                       std::uint64_t M);
+
+} // namespace mscp::analytic
+
+#endif // MSCP_ANALYTIC_RADIX_COST_HH

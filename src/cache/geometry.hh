@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Address arithmetic for word-addressed caches.
+ *
+ * The simulator is word addressed (one 64-bit word per Addr unit); a
+ * block consists of a power-of-two number of words. Blocks map to
+ * sets by their low index bits.
+ */
+
+#ifndef MSCP_CACHE_GEOMETRY_HH
+#define MSCP_CACHE_GEOMETRY_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mscp::cache
+{
+
+/** Size/shape parameters of one cache. */
+struct Geometry
+{
+    unsigned blockWords = 8;  ///< words per block (power of two)
+    unsigned numSets = 64;    ///< sets (power of two)
+    unsigned assoc = 4;       ///< ways per set
+
+    /** Validate parameters; fatal on user error. */
+    void
+    check() const
+    {
+        fatal_if(!isPowerOfTwo(blockWords),
+                 "blockWords must be a power of two");
+        fatal_if(!isPowerOfTwo(numSets),
+                 "numSets must be a power of two");
+        fatal_if(assoc == 0, "assoc must be positive");
+    }
+
+    /** Total capacity in blocks. */
+    unsigned capacityBlocks() const { return numSets * assoc; }
+
+    /** Block containing word address @p a. */
+    BlockId
+    blockOf(Addr a) const
+    {
+        return a / blockWords;
+    }
+
+    /** Word offset of @p a within its block. */
+    unsigned
+    offsetOf(Addr a) const
+    {
+        return static_cast<unsigned>(a % blockWords);
+    }
+
+    /** First word address of @p b. */
+    Addr
+    baseOf(BlockId b) const
+    {
+        return static_cast<Addr>(b) * blockWords;
+    }
+
+    /** Set index of block @p b. */
+    unsigned
+    setOf(BlockId b) const
+    {
+        return static_cast<unsigned>(b % numSets);
+    }
+};
+
+} // namespace mscp::cache
+
+#endif // MSCP_CACHE_GEOMETRY_HH

@@ -1,0 +1,199 @@
+#include "experiment.hh"
+
+#include <iomanip>
+
+#include "analytic/protocol_cost.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mscp::core
+{
+
+using namespace analytic;
+
+std::vector<Fig5Point>
+fig5Series(std::uint64_t num_caches, std::uint64_t message_bits)
+{
+    std::vector<Fig5Point> out;
+    for (std::uint64_t n = 1; n <= num_caches; n <<= 1) {
+        out.push_back({n, cc1Series(n, num_caches, message_bits),
+                       cc2WorstSeries(n, num_caches, message_bits)});
+    }
+    return out;
+}
+
+std::vector<Table2Row>
+table2(const std::vector<std::uint64_t> &message_sizes,
+       const std::vector<std::uint64_t> &cache_counts)
+{
+    std::vector<Table2Row> rows;
+    for (auto N : cache_counts) {
+        Table2Row row;
+        row.numCaches = N;
+        for (auto M : message_sizes)
+            row.breakEven.push_back(breakEvenScheme1Vs2(N, M));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<Fig6Point>
+fig6Series(std::uint64_t num_caches, std::uint64_t cluster,
+           std::uint64_t message_bits)
+{
+    std::vector<Fig6Point> out;
+    std::uint64_t c3 = cc3Series(cluster, num_caches, message_bits);
+    for (std::uint64_t n = 1; n <= cluster; n <<= 1) {
+        out.push_back({n, cc1Series(n, num_caches, message_bits),
+                       cc2ClusteredSeries(n, cluster, num_caches,
+                                          message_bits),
+                       c3});
+    }
+    return out;
+}
+
+std::vector<CheapestRow>
+table3(std::uint64_t num_caches, std::uint64_t cluster,
+       const std::vector<std::uint64_t> &message_sizes,
+       const std::vector<std::uint64_t> &dest_counts)
+{
+    std::vector<CheapestRow> rows;
+    for (auto M : message_sizes) {
+        CheapestRow row;
+        row.rowParam = M;
+        for (auto n : dest_counts)
+            row.best.push_back(cheapestScheme(n, cluster,
+                                              num_caches, M));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<CheapestRow>
+table4(std::uint64_t message_bits, std::uint64_t cluster,
+       const std::vector<std::uint64_t> &cache_counts,
+       const std::vector<std::uint64_t> &dest_counts)
+{
+    std::vector<CheapestRow> rows;
+    for (auto N : cache_counts) {
+        CheapestRow row;
+        row.rowParam = N;
+        for (auto n : dest_counts)
+            row.best.push_back(cheapestScheme(n, cluster, N,
+                                              message_bits));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<Fig8Point>
+fig8Series(const std::vector<double> &sharer_counts,
+           unsigned w_steps)
+{
+    std::vector<Fig8Point> out;
+    for (unsigned i = 0; i <= w_steps; ++i) {
+        double w = static_cast<double>(i) /
+            static_cast<double>(w_steps);
+        Fig8Point pt;
+        pt.w = w;
+        pt.noCache = normNoCache(w);
+        for (double n : sharer_counts) {
+            pt.writeOnce.push_back(normWriteOnce(w, n));
+            pt.twoMode.push_back(normTwoMode(w, n));
+        }
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+void
+printFig5(std::ostream &os, const std::vector<Fig5Point> &s)
+{
+    os << "# Figure 5: communication cost vs destinations\n";
+    os << std::setw(8) << "n" << std::setw(14) << "scheme1"
+       << std::setw(14) << "scheme2" << "\n";
+    for (const auto &p : s) {
+        os << std::setw(8) << p.n << std::setw(14) << p.cc1
+           << std::setw(14) << p.cc2Worst << "\n";
+    }
+}
+
+void
+printTable2(std::ostream &os,
+            const std::vector<std::uint64_t> &message_sizes,
+            const std::vector<Table2Row> &rows)
+{
+    os << "# Table 2: break-even n between schemes 1 and 2\n";
+    os << std::setw(10) << "N";
+    for (auto M : message_sizes)
+        os << std::setw(10) << ("M=" + std::to_string(M));
+    os << "\n";
+    for (const auto &row : rows) {
+        os << std::setw(10) << row.numCaches;
+        for (auto be : row.breakEven)
+            os << std::setw(10) << be;
+        os << "\n";
+    }
+}
+
+void
+printFig6(std::ostream &os, const std::vector<Fig6Point> &s)
+{
+    os << "# Figure 6: communication cost vs destinations "
+          "(clustered)\n";
+    os << std::setw(8) << "n" << std::setw(14) << "scheme1"
+       << std::setw(14) << "scheme2'" << std::setw(14) << "scheme3"
+       << "\n";
+    for (const auto &p : s) {
+        os << std::setw(8) << p.n << std::setw(14) << p.cc1
+           << std::setw(14) << p.cc2Clustered << std::setw(14)
+           << p.cc3 << "\n";
+    }
+}
+
+void
+printCheapestTable(std::ostream &os, const char *row_name,
+                   const std::vector<std::uint64_t> &dest_counts,
+                   const std::vector<CheapestRow> &rows)
+{
+    os << std::setw(10) << row_name;
+    for (auto n : dest_counts)
+        os << std::setw(8) << ("n=" + std::to_string(n));
+    os << "\n";
+    for (const auto &row : rows) {
+        os << std::setw(10) << row.rowParam;
+        for (auto b : row.best)
+            os << std::setw(8) << static_cast<int>(b);
+        os << "\n";
+    }
+}
+
+void
+printFig8(std::ostream &os, const std::vector<double> &sharer_counts,
+          const std::vector<Fig8Point> &s)
+{
+    os << "# Figure 8: normalized communication cost vs write "
+          "fraction\n";
+    os << std::setw(8) << "w" << std::setw(12) << "no-cache";
+    for (double n : sharer_counts) {
+        os << std::setw(12)
+           << ("wo(n=" + std::to_string(static_cast<int>(n)) + ")");
+    }
+    for (double n : sharer_counts) {
+        os << std::setw(12)
+           << ("2m(n=" + std::to_string(static_cast<int>(n)) + ")");
+    }
+    os << "\n";
+    os << std::fixed << std::setprecision(3);
+    for (const auto &p : s) {
+        os << std::setw(8) << p.w << std::setw(12) << p.noCache;
+        for (double v : p.writeOnce)
+            os << std::setw(12) << v;
+        for (double v : p.twoMode)
+            os << std::setw(12) << v;
+        os << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+} // namespace mscp::core

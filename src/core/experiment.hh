@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Generators for every table and figure of the paper's evaluation.
+ *
+ * Each generator returns plain data so tests can assert on the
+ * numbers and the bench binaries only format them. Costs come from
+ * the exact per-stage series (analytic/) unless stated otherwise;
+ * the network simulator reproduces the same numbers (verified by
+ * the property tests in tests/net/).
+ */
+
+#ifndef MSCP_CORE_EXPERIMENT_HH
+#define MSCP_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "analytic/multicast_cost.hh"
+
+namespace mscp::core
+{
+
+/** One point of Fig. 5: CC vs n for schemes 1 and 2 (worst case). */
+struct Fig5Point
+{
+    std::uint64_t n;
+    std::uint64_t cc1;
+    std::uint64_t cc2Worst;
+};
+
+/** Fig. 5 series (paper: N = 1024, M = 20). */
+std::vector<Fig5Point> fig5Series(std::uint64_t num_caches = 1024,
+                                  std::uint64_t message_bits = 20);
+
+/** One row of Table 2: break-even n for each message size. */
+struct Table2Row
+{
+    std::uint64_t numCaches;
+    std::vector<std::uint64_t> breakEven; ///< one per message size
+};
+
+/** Table 2 (paper: M in {0,40,100}, N in {64..1024}). */
+std::vector<Table2Row> table2(
+    const std::vector<std::uint64_t> &message_sizes = {0, 40, 100},
+    const std::vector<std::uint64_t> &cache_counts =
+        {64, 128, 256, 512, 1024});
+
+/** One point of Fig. 6: CC vs n for schemes 1, 2' and 3. */
+struct Fig6Point
+{
+    std::uint64_t n;
+    std::uint64_t cc1;
+    std::uint64_t cc2Clustered;
+    std::uint64_t cc3; ///< constant in n (covers the n1 cluster)
+};
+
+/** Fig. 6 series (paper: N = 1024, n1 = 128, M = 20). */
+std::vector<Fig6Point> fig6Series(std::uint64_t num_caches = 1024,
+                                  std::uint64_t cluster = 128,
+                                  std::uint64_t message_bits = 20);
+
+/** One row of Table 3/4: cheapest scheme per destination count. */
+struct CheapestRow
+{
+    std::uint64_t rowParam; ///< M (Table 3) or N (Table 4)
+    std::vector<analytic::BestScheme> best; ///< one per n
+};
+
+/** Table 3 (paper: N=1024, n1=128; M rows, n columns). */
+std::vector<CheapestRow> table3(
+    std::uint64_t num_caches = 1024, std::uint64_t cluster = 128,
+    const std::vector<std::uint64_t> &message_sizes =
+        {0, 20, 40, 60},
+    const std::vector<std::uint64_t> &dest_counts =
+        {4, 8, 16, 64, 128});
+
+/** Table 4 (paper: M=20, n1=128; N rows, n columns). */
+std::vector<CheapestRow> table4(
+    std::uint64_t message_bits = 20, std::uint64_t cluster = 128,
+    const std::vector<std::uint64_t> &cache_counts =
+        {256, 512, 1024, 2048},
+    const std::vector<std::uint64_t> &dest_counts =
+        {8, 16, 32, 64, 128});
+
+/** One point of Fig. 8: normalized cost per reference vs w. */
+struct Fig8Point
+{
+    double w;
+    double noCache;               ///< eq. 9 (the bold reference)
+    std::vector<double> writeOnce;///< eq. 10 bound, one per n
+    std::vector<double> twoMode;  ///< min(eq. 11, eq. 12), one per n
+};
+
+/** Fig. 8 series for a set of sharer counts. */
+std::vector<Fig8Point> fig8Series(
+    const std::vector<double> &sharer_counts = {4, 8, 16, 32, 64},
+    unsigned w_steps = 50);
+
+/** @{ formatted printers used by the bench binaries */
+void printFig5(std::ostream &os, const std::vector<Fig5Point> &s);
+void printTable2(std::ostream &os,
+                 const std::vector<std::uint64_t> &message_sizes,
+                 const std::vector<Table2Row> &rows);
+void printFig6(std::ostream &os, const std::vector<Fig6Point> &s);
+void printCheapestTable(std::ostream &os, const char *row_name,
+                        const std::vector<std::uint64_t> &dest_counts,
+                        const std::vector<CheapestRow> &rows);
+void printFig8(std::ostream &os,
+               const std::vector<double> &sharer_counts,
+               const std::vector<Fig8Point> &s);
+/** @} */
+
+} // namespace mscp::core
+
+#endif // MSCP_CORE_EXPERIMENT_HH

@@ -1,0 +1,59 @@
+#include "mode_policy.hh"
+
+#include "analytic/protocol_cost.hh"
+#include "sim/logging.hh"
+
+namespace mscp::core
+{
+
+void
+ModePolicy::switchMode(proto::StenstromProtocol &proto, Addr addr,
+                       cache::Mode mode)
+{
+    NodeId owner = proto.ownerOf(addr);
+    if (owner == invalidNode)
+        return; // block not cached; nothing to switch
+    proto.setMode(owner, addr, mode);
+    ++switches;
+}
+
+void
+StaticModePolicy::afterRef(proto::StenstromProtocol &proto,
+                           const workload::MemRef &ref)
+{
+    cache::Mode cur;
+    if (proto.blockMode(ref.addr, cur) && cur != target)
+        switchMode(proto, ref.addr, target);
+}
+
+void
+AdaptiveModePolicy::afterRef(proto::StenstromProtocol &proto,
+                             const workload::MemRef &ref)
+{
+    BlockId blk = proto.geometry().blockOf(ref.addr);
+    BlockCounters &c = counters[blk];
+    ++c.refs;
+    if (ref.isWrite)
+        ++c.writes;
+    if (c.refs < window)
+        return;
+
+    // Window complete: estimate w, read n off the present flags,
+    // and pick the mode with the lower cost bound (eqs. 11/12).
+    double w = static_cast<double>(c.writes) /
+        static_cast<double>(c.refs);
+    unsigned n = proto.presentCount(ref.addr);
+    c = BlockCounters{};
+    if (n == 0)
+        return; // uncached; no owner to act
+    ++_decisions;
+
+    double w1 = analytic::wThreshold(static_cast<double>(n));
+    cache::Mode want = w <= w1
+        ? cache::Mode::DistributedWrite : cache::Mode::GlobalRead;
+    cache::Mode cur;
+    if (proto.blockMode(ref.addr, cur) && cur != want)
+        switchMode(proto, ref.addr, want);
+}
+
+} // namespace mscp::core

@@ -1,0 +1,33 @@
+#include "scheme_select.hh"
+
+#include "analytic/multicast_cost.hh"
+#include "sim/logging.hh"
+
+namespace mscp::core
+{
+
+SchemeRegisters
+SchemeRegisters::compute(std::uint64_t num_caches,
+                         std::uint64_t cluster,
+                         std::uint64_t message_bits)
+{
+    using namespace analytic;
+    fatal_if(!isPowerOfTwo(num_caches) || !isPowerOfTwo(cluster) ||
+             cluster > num_caches,
+             "scheme registers need power-of-two n1 <= N");
+
+    SchemeRegisters regs;
+    std::uint64_t c3 = cc3Series(cluster, num_caches, message_bits);
+    for (std::uint64_t n = 1; n <= cluster; n <<= 1) {
+        std::uint64_t c1 = cc1Series(n, num_caches, message_bits);
+        std::uint64_t c2 = cc2ClusteredSeries(n, cluster, num_caches,
+                                              message_bits);
+        if (regs.breakEven12 == 0 && c2 <= c1)
+            regs.breakEven12 = n;
+        if (regs.breakEven23 == 0 && c3 <= c2)
+            regs.breakEven23 = n;
+    }
+    return regs;
+}
+
+} // namespace mscp::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Break-even registers for run-time multicast scheme selection
+ * (paper Sec. 5).
+ *
+ * "It should be possible for the compiler to determine both the
+ *  message size and the maximum number of tasks and consequently
+ *  break-even. Break-even for a whole data structure could be
+ *  stored in some registers. Hardware mechanisms could then use the
+ *  contents of these registers together with the number of present
+ *  flag bits that are set to determine which of the schemes to use."
+ *
+ * SchemeRegisters::compute plays the compiler: it derives the two
+ * break-even destination counts from (N, n1, M) using the exact
+ * cost series; choose() plays the hardware, a two-comparison
+ * decision on the present-flag popcount.
+ */
+
+#ifndef MSCP_CORE_SCHEME_SELECT_HH
+#define MSCP_CORE_SCHEME_SELECT_HH
+
+#include <cstdint>
+
+#include "net/route.hh"
+#include "sim/types.hh"
+
+namespace mscp::core
+{
+
+/** The per-data-structure break-even registers of Sec. 5. */
+struct SchemeRegisters
+{
+    /** Smallest n where clustered scheme 2 beats scheme 1 (0: never). */
+    std::uint64_t breakEven12 = 0;
+    /** Smallest n where scheme 3 beats clustered scheme 2 (0: never). */
+    std::uint64_t breakEven23 = 0;
+
+    /**
+     * Compile-time computation of the registers.
+     *
+     * @param num_caches N
+     * @param cluster n1 (maximum tasks, adjacently placed)
+     * @param message_bits M, the multicast payload incl. header
+     */
+    static SchemeRegisters compute(std::uint64_t num_caches,
+                                   std::uint64_t cluster,
+                                   std::uint64_t message_bits);
+
+    /** Hardware decision from the present-flag popcount. */
+    net::Scheme
+    choose(unsigned num_dests) const
+    {
+        if (breakEven23 && num_dests >= breakEven23)
+            return net::Scheme::BroadcastTag;
+        if (breakEven12 && num_dests >= breakEven12)
+            return net::Scheme::VectorRouting;
+        return net::Scheme::Unicasts;
+    }
+};
+
+} // namespace mscp::core
+
+#endif // MSCP_CORE_SCHEME_SELECT_HH

@@ -1,0 +1,120 @@
+#include "stats_bridge.hh"
+
+#include <iomanip>
+
+namespace mscp::core
+{
+
+void
+StatsBridge::addFormula(stats::Group *parent, std::string name,
+                        std::string desc,
+                        std::function<double()> fn)
+{
+    formulas.push_back(std::make_unique<stats::Formula>(
+        parent, std::move(name), std::move(desc), std::move(fn)));
+}
+
+StatsBridge::StatsBridge(System &system, const std::string &name)
+    : sys(system), root(name), protoGroup("protocol", &root),
+      netGroup("network", &root)
+{
+    auto &p = sys.protocol();
+    const auto &c = p.counters();
+
+    addFormula(&protoGroup, "reads", "processor reads",
+               [&c] { return static_cast<double>(c.reads); });
+    addFormula(&protoGroup, "writes", "processor writes",
+               [&c] { return static_cast<double>(c.writes); });
+    addFormula(&protoGroup, "read_hit_ratio",
+               "fraction of reads hitting locally", [&c] {
+                   return c.reads
+                       ? static_cast<double>(c.readHits) /
+                             static_cast<double>(c.reads)
+                       : 0.0;
+               });
+    addFormula(&protoGroup, "ownership_transfers",
+               "block-store owner changes", [&c] {
+                   return static_cast<double>(c.ownershipTransfers);
+               });
+    addFormula(&protoGroup, "mode_switches",
+               "distributed-write/global-read transitions", [&c] {
+                   return static_cast<double>(c.modeSwitches);
+               });
+    addFormula(&protoGroup, "dw_updates",
+               "distributed-write multicasts", [&c] {
+                   return static_cast<double>(c.dwUpdates);
+               });
+    addFormula(&protoGroup, "replacements", "entry evictions",
+               [&c] {
+                   return static_cast<double>(c.replacements);
+               });
+    addFormula(&protoGroup, "write_backs",
+               "modified blocks returned to memory", [&c] {
+                   return static_cast<double>(c.writeBacks);
+               });
+    addFormula(&protoGroup, "messages", "protocol messages sent",
+               [&p] {
+                   return static_cast<double>(
+                       p.messageCounters().totalCount());
+               });
+
+    auto &net = sys.network();
+    addFormula(&netGroup, "total_bits",
+               "communication cost CC (eq. 1)", [&net] {
+                   return static_cast<double>(
+                       net.linkStats().totalBits());
+               });
+    addFormula(&netGroup, "traversals", "link traversals", [&net] {
+        return static_cast<double>(net.linkStats().traversals());
+    });
+    addFormula(&netGroup, "max_link_bits",
+               "hottest single link", [&net] {
+                   return static_cast<double>(
+                       net.linkStats().maxLinkBits());
+               });
+    addFormula(&netGroup, "bits_per_ref",
+               "network bits per processor reference",
+               [&c, &net] {
+                   double refs = static_cast<double>(c.reads +
+                                                     c.writes);
+                   return refs
+                       ? static_cast<double>(
+                             net.linkStats().totalBits()) / refs
+                       : 0.0;
+               });
+    for (unsigned lvl = 0; lvl < net.linkStats().numLevels();
+         ++lvl) {
+        addFormula(&netGroup,
+                   "level" + std::to_string(lvl) + "_bits",
+                   "bits into stage " + std::to_string(lvl) +
+                   " (L_i of eq. 1)",
+                   [&net, lvl] {
+                       return static_cast<double>(
+                           net.linkStats().levelBits(lvl));
+                   });
+    }
+}
+
+void
+dumpMessageTable(std::ostream &os,
+                 const proto::MessageCounters &counters)
+{
+    os << std::left << std::setw(16) << "message type"
+       << std::right << std::setw(12) << "count"
+       << std::setw(16) << "bits" << "\n";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(proto::MsgType::NumTypes);
+         ++i) {
+        if (counters.count[i] == 0)
+            continue;
+        os << std::left << std::setw(16)
+           << proto::msgTypeName(static_cast<proto::MsgType>(i))
+           << std::right << std::setw(12) << counters.count[i]
+           << std::setw(16) << counters.bits[i] << "\n";
+    }
+    os << std::left << std::setw(16) << "total"
+       << std::right << std::setw(12) << counters.totalCount()
+       << std::setw(16) << counters.totalBits() << "\n";
+}
+
+} // namespace mscp::core

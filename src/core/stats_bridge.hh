@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bridges the protocol engine's raw counters into the gem5-style
+ * statistics package: hierarchical names, derived formulas (hit
+ * ratio, bits per reference, per-stage traffic shares) and a
+ * per-message-type breakdown, all dumpable in the standard
+ * "name value # desc" format.
+ */
+
+#ifndef MSCP_CORE_STATS_BRIDGE_HH
+#define MSCP_CORE_STATS_BRIDGE_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/stats.hh"
+
+namespace mscp::core
+{
+
+/** Statistics view over a System. */
+class StatsBridge
+{
+  public:
+    /**
+     * @param system the system to observe (must outlive the bridge)
+     * @param name root group name
+     */
+    explicit StatsBridge(System &system,
+                         const std::string &name = "system");
+
+    /** Root statistics group (live values, computed on demand). */
+    const stats::Group &group() const { return root; }
+
+    /** Dump every statistic. */
+    void dump(std::ostream &os) const { root.dump(os); }
+
+  private:
+    System &sys;
+    stats::Group root;
+    stats::Group protoGroup;
+    stats::Group netGroup;
+    std::vector<std::unique_ptr<stats::Formula>> formulas;
+
+    void addFormula(stats::Group *parent, std::string name,
+                    std::string desc,
+                    std::function<double()> fn);
+};
+
+/** Print a per-message-type count/bits table for any engine. */
+void dumpMessageTable(std::ostream &os,
+                      const proto::MessageCounters &counters);
+
+} // namespace mscp::core
+
+#endif // MSCP_CORE_STATS_BRIDGE_HH

@@ -1,0 +1,127 @@
+#include "system.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::core
+{
+
+const char *
+policyKindName(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::EngineDefault: return "engine-default";
+      case PolicyKind::ForceDW: return "force-dw";
+      case PolicyKind::ForceGR: return "force-gr";
+      case PolicyKind::Adaptive: return "adaptive";
+    }
+    return "unknown";
+}
+
+System::System(const SystemConfig &config)
+    : cfg(config)
+{
+    fatal_if(!isPowerOfTwo(cfg.numPorts) || cfg.numPorts < 2,
+             "system needs a power-of-two port count >= 2");
+    net = std::make_unique<net::OmegaNetwork>(cfg.numPorts);
+
+    proto::StenstromParams pp;
+    pp.geometry = cfg.geometry;
+    pp.multicastScheme = cfg.multicastScheme;
+    pp.defaultMode = cfg.defaultMode;
+    pp.sizes = cfg.sizes;
+
+    if (cfg.useSchemeRegisters) {
+        fatal_if(cfg.clusterSize == 0 ||
+                 !isPowerOfTwo(cfg.clusterSize) ||
+                 cfg.clusterSize > cfg.numPorts,
+                 "scheme registers need a power-of-two cluster size "
+                 "<= N");
+        // The dominant multicast is the distributed-write update;
+        // its wire size is the register's message size M.
+        Bits m_bits = cfg.sizes.control() + cfg.sizes.wordBits;
+        regs = SchemeRegisters::compute(cfg.numPorts,
+                                        cfg.clusterSize, m_bits);
+        SchemeRegisters r = regs;
+        pp.schemePolicy = [r](unsigned n) { return r.choose(n); };
+    }
+
+    proto = std::make_unique<proto::StenstromProtocol>(*net, pp);
+
+    switch (cfg.policy) {
+      case PolicyKind::EngineDefault:
+        modePolicy = std::make_unique<EngineDefaultPolicy>();
+        break;
+      case PolicyKind::ForceDW:
+        modePolicy = std::make_unique<StaticModePolicy>(
+            cache::Mode::DistributedWrite);
+        break;
+      case PolicyKind::ForceGR:
+        modePolicy = std::make_unique<StaticModePolicy>(
+            cache::Mode::GlobalRead);
+        break;
+      case PolicyKind::Adaptive:
+        modePolicy = std::make_unique<AdaptiveModePolicy>(
+            cfg.adaptWindow);
+        break;
+    }
+}
+
+proto::RunResult
+System::run(workload::ReferenceStream &stream)
+{
+    proto::RunResult res;
+    Bits start_bits = net->linkStats().totalBits();
+    std::uint64_t start_msgs = proto->messageCounters().totalCount();
+    std::uint64_t start_errors = proto->valueErrors();
+
+    workload::MemRef ref;
+    while (stream.next(ref)) {
+        ++res.refs;
+        if (ref.isWrite) {
+            ++res.writes;
+            proto->write(ref.cpu, ref.addr, ref.value);
+        } else {
+            ++res.reads;
+            proto->read(ref.cpu, ref.addr);
+        }
+        modePolicy->afterRef(*proto, ref);
+    }
+
+    res.networkBits = net->linkStats().totalBits() - start_bits;
+    res.messages = proto->messageCounters().totalCount() - start_msgs;
+    res.valueErrors = proto->valueErrors() - start_errors;
+    return res;
+}
+
+void
+System::report(std::ostream &os) const
+{
+    const auto &c = proto->counters();
+    const auto &ls = net->linkStats();
+
+    os << "system: N=" << cfg.numPorts
+       << " scheme=" << net::schemeName(cfg.multicastScheme)
+       << " policy=" << policyKindName(cfg.policy) << "\n";
+    os << "refs: " << c.reads << " reads (" << c.readHits
+       << " hits), " << c.writes << " writes\n";
+    os << "misses: uncached=" << c.readMissUncached
+       << " owned-dw=" << c.readMissOwnedDW
+       << " owned-gr=" << c.readMissOwnedGR
+       << " pointer-gr=" << c.readMissPointerGR << "\n";
+    os << "ownership transfers: " << c.ownershipTransfers
+       << ", mode switches: " << c.modeSwitches
+       << ", dw updates: " << c.dwUpdates
+       << ", invalidations: " << c.invalidations << "\n";
+    os << "replacements: " << c.replacements
+       << " (owned-excl=" << c.replOwnedExcl
+       << " owned-nonexcl=" << c.replOwnedNonExcl
+       << " unowned=" << c.replUnOwned
+       << " invalid=" << c.replInvalid << ")\n";
+    os << "network: " << ls.totalBits() << " bits over "
+       << ls.traversals() << " link traversals; per-level:";
+    for (unsigned i = 0; i < ls.numLevels(); ++i)
+        os << " " << ls.levelBits(i);
+    os << "\n";
+}
+
+} // namespace mscp::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The per-memory-module block store (paper Sec. 2.1).
+ *
+ * One entry per cached block: a valid bit and the log2(N)-bit
+ * identification of the block's current owner. The block store is
+ * the only consistency state kept at the memory level; it never
+ * holds presence vectors (those live at the owning caches).
+ */
+
+#ifndef MSCP_MEM_BLOCK_STORE_HH
+#define MSCP_MEM_BLOCK_STORE_HH
+
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace mscp::mem
+{
+
+/** Owner directory of one memory module. */
+class BlockStore
+{
+  public:
+    /**
+     * @return the owner of @p block, or invalidNode if the block is
+     *         not cached anywhere (valid bit clear).
+     */
+    NodeId
+    owner(BlockId block) const
+    {
+        auto it = map.find(block);
+        return it == map.end() ? invalidNode : it->second;
+    }
+
+    /** @return true iff the block has a registered owner. */
+    bool
+    hasOwner(BlockId block) const
+    {
+        return map.find(block) != map.end();
+    }
+
+    /** Register or change the owner of @p block. */
+    void
+    setOwner(BlockId block, NodeId owner)
+    {
+        map[block] = owner;
+    }
+
+    /** Clear the valid bit (block no longer cached). */
+    void
+    clear(BlockId block)
+    {
+        map.erase(block);
+    }
+
+    /** Number of valid entries (for stats/tests). */
+    std::size_t size() const { return map.size(); }
+
+  private:
+    std::unordered_map<BlockId, NodeId> map;
+};
+
+} // namespace mscp::mem
+
+#endif // MSCP_MEM_BLOCK_STORE_HH

@@ -1,0 +1,50 @@
+#include "memory_module.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::mem
+{
+
+std::vector<std::uint64_t>
+MemoryModule::readBlock(BlockId block) const
+{
+    auto it = data.find(block);
+    if (it == data.end())
+        return std::vector<std::uint64_t>(blockWords, 0);
+    return it->second;
+}
+
+void
+MemoryModule::writeBlock(BlockId block,
+                         std::vector<std::uint64_t> block_data)
+{
+    panic_if(block_data.size() != blockWords,
+             "write-back of %zu words into %u-word blocks",
+             block_data.size(), blockWords);
+    data[block] = std::move(block_data);
+}
+
+std::uint64_t
+MemoryModule::readWord(BlockId block, unsigned offset) const
+{
+    panic_if(offset >= blockWords, "word offset out of block");
+    auto it = data.find(block);
+    return it == data.end() ? 0 : it->second[offset];
+}
+
+void
+MemoryModule::writeWord(BlockId block, unsigned offset,
+                        std::uint64_t value)
+{
+    panic_if(offset >= blockWords, "word offset out of block");
+    auto it = data.find(block);
+    if (it == data.end()) {
+        auto [ins, ok] = data.emplace(
+            block, std::vector<std::uint64_t>(blockWords, 0));
+        (void)ok;
+        it = ins;
+    }
+    it->second[offset] = value;
+}
+
+} // namespace mscp::mem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * One interleaved main-memory module.
+ *
+ * Modules are co-located with the network ports (one processor-
+ * memory element per port, RP3 style); blocks interleave across
+ * modules by block number. Each module stores block data words and
+ * its block store (owner directory).
+ */
+
+#ifndef MSCP_MEM_MEMORY_MODULE_HH
+#define MSCP_MEM_MEMORY_MODULE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/block_store.hh"
+#include "sim/types.hh"
+
+namespace mscp::mem
+{
+
+/** Backing storage plus owner directory of one module. */
+class MemoryModule
+{
+  public:
+    /**
+     * @param port network port the module answers on
+     * @param block_words words per block
+     */
+    MemoryModule(NodeId port, unsigned block_words)
+        : _port(port), blockWords(block_words)
+    {}
+
+    NodeId port() const { return _port; }
+
+    BlockStore &blockStore() { return store; }
+    const BlockStore &blockStore() const { return store; }
+
+    /** Read a whole block (zero-filled if never written). */
+    std::vector<std::uint64_t> readBlock(BlockId block) const;
+
+    /** Overwrite a whole block (write-back). */
+    void writeBlock(BlockId block, std::vector<std::uint64_t> data);
+
+    /** Read one word. */
+    std::uint64_t readWord(BlockId block, unsigned offset) const;
+
+    /** Write one word (write-through paths of baselines). */
+    void writeWord(BlockId block, unsigned offset,
+                   std::uint64_t value);
+
+    /** Number of blocks ever touched (for stats). */
+    std::size_t touchedBlocks() const { return data.size(); }
+
+  private:
+    NodeId _port;
+    unsigned blockWords;
+    BlockStore store;
+    std::unordered_map<BlockId, std::vector<std::uint64_t>> data;
+};
+
+/** Block-interleaved address map across @p num_modules modules. */
+struct AddressMap
+{
+    unsigned numModules = 1;
+
+    /** Module index holding @p block. */
+    unsigned
+    moduleOf(BlockId block) const
+    {
+        return static_cast<unsigned>(block % numModules);
+    }
+};
+
+} // namespace mscp::mem
+
+#endif // MSCP_MEM_MEMORY_MODULE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-link traffic accounting implementing the paper's cost metric.
+ *
+ * Communication cost (paper eq. 1) is the amount of information (in
+ * bits) crossing each link, summed over all links:
+ *
+ *     CC = sum_{i=0}^{m} L_i
+ *
+ * where L_i is the traffic on links *to* stage i. LinkStats keeps a
+ * per-(level, line) bit counter so both the aggregate CC and per-link
+ * hot-spot profiles can be extracted.
+ */
+
+#ifndef MSCP_NET_LINK_STATS_HH
+#define MSCP_NET_LINK_STATS_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mscp::net
+{
+
+/** Bit counters for every link of an omega network. */
+class LinkStats
+{
+  public:
+    /**
+     * @param num_levels number of link levels (m + 1)
+     * @param num_lines links per level (N)
+     */
+    LinkStats(unsigned num_levels, unsigned num_lines)
+        : lines(num_lines),
+          perLink(static_cast<std::size_t>(num_levels) * num_lines, 0),
+          perLevel(num_levels, 0)
+    {}
+
+    /** Record @p bits crossing link (@p level, @p line). */
+    void
+    add(unsigned level, unsigned line, Bits bits)
+    {
+        perLink[index(level, line)] += bits;
+        perLevel[level] += bits;
+        _totalBits += bits;
+        ++_traversals;
+    }
+
+    /** Traffic on one link. */
+    Bits
+    linkBits(unsigned level, unsigned line) const
+    {
+        return perLink[index(level, line)];
+    }
+
+    /** L_i: total traffic on links to stage @p level. */
+    Bits levelBits(unsigned level) const { return perLevel[level]; }
+
+    /** CC: total bits summed over every link. */
+    Bits totalBits() const { return _totalBits; }
+
+    /** Number of individual link traversals recorded. */
+    std::uint64_t traversals() const { return _traversals; }
+
+    /** Highest single-link bit count (hot-spot measure). */
+    Bits maxLinkBits() const;
+
+    unsigned numLevels() const
+    {
+        return static_cast<unsigned>(perLevel.size());
+    }
+
+    unsigned numLines() const { return lines; }
+
+    /** Zero every counter. */
+    void reset();
+
+  private:
+    std::size_t
+    index(unsigned level, unsigned line) const
+    {
+        return static_cast<std::size_t>(level) * lines + line;
+    }
+
+    unsigned lines;
+    std::vector<Bits> perLink;
+    std::vector<Bits> perLevel;
+    Bits _totalBits = 0;
+    std::uint64_t _traversals = 0;
+};
+
+} // namespace mscp::net
+
+#endif // MSCP_NET_LINK_STATS_HH

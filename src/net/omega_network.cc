@@ -1,0 +1,301 @@
+#include "omega_network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mscp::net
+{
+
+OmegaNetwork::OmegaNetwork(unsigned num_ports)
+    : topo(num_ports),
+      stats(topo.numLinkLevels(), topo.numPorts())
+{
+}
+
+void
+OmegaNetwork::checkPort(NodeId p) const
+{
+    panic_if(p >= topo.numPorts(), "port %u out of range (N=%u)",
+             p, topo.numPorts());
+}
+
+Bits
+OmegaNetwork::headerBits(Scheme scheme, unsigned level) const
+{
+    unsigned m = topo.numStages();
+    switch (scheme) {
+      case Scheme::Unicasts:
+        return m - level;
+      case Scheme::VectorRouting:
+        return Bits{topo.numPorts()} >> level;
+      case Scheme::BroadcastTag:
+        return 2 * (m - level);
+      case Scheme::Combined:
+        break;
+    }
+    panic("headerBits on combined scheme");
+}
+
+std::vector<Traversal>
+OmegaNetwork::traceUnicast(NodeId src, NodeId dst,
+                           Bits payload_bits) const
+{
+    checkPort(src);
+    checkPort(dst);
+    std::vector<Traversal> trace;
+    auto lines = topo.path(src, dst);
+    std::int32_t parent = -1;
+    for (unsigned level = 0; level < lines.size(); ++level) {
+        trace.push_back({level, lines[level],
+                         payload_bits + headerBits(Scheme::Unicasts,
+                                                   level),
+                         parent});
+        parent = static_cast<std::int32_t>(trace.size()) - 1;
+    }
+    return trace;
+}
+
+std::vector<Traversal>
+OmegaNetwork::traceScheme1(NodeId src,
+                           const std::vector<NodeId> &dests,
+                           Bits payload_bits) const
+{
+    std::vector<Traversal> trace;
+    for (NodeId d : dests) {
+        auto one = traceUnicast(src, d, payload_bits);
+        auto base = static_cast<std::int32_t>(trace.size());
+        for (auto &t : one) {
+            if (t.parent >= 0)
+                t.parent += base;
+            trace.push_back(t);
+        }
+    }
+    return trace;
+}
+
+std::vector<Traversal>
+OmegaNetwork::traceScheme2(NodeId src, const DynamicBitset &dests,
+                           Bits payload_bits) const
+{
+    checkPort(src);
+    panic_if(dests.size() != topo.numPorts(),
+             "scheme-2 vector size %zu != N=%u", dests.size(),
+             topo.numPorts());
+
+    std::vector<Traversal> trace;
+    if (dests.none())
+        return trace;
+
+    unsigned m = topo.numStages();
+
+    struct Frame
+    {
+        unsigned level;
+        unsigned line;
+        unsigned lo;
+        unsigned hi;
+        std::int32_t parent;
+    };
+
+    std::vector<Frame> work;
+    work.push_back({0, src, 0, topo.numPorts(), -1});
+
+    while (!work.empty()) {
+        Frame f = work.back();
+        work.pop_back();
+
+        trace.push_back({f.level, f.line,
+                         payload_bits + headerBits(
+                             Scheme::VectorRouting, f.level),
+                         f.parent});
+        auto self = static_cast<std::int32_t>(trace.size()) - 1;
+
+        if (f.level == m)
+            continue; // delivered
+
+        unsigned mid = f.lo + (f.hi - f.lo) / 2;
+        // Output 1 pushed first so output 0 is walked first (LIFO),
+        // keeping delivery order ascending within each subtree.
+        if (dests.anyInRange(mid, f.hi)) {
+            work.push_back({f.level + 1, topo.nextLine(f.line, 1),
+                            mid, f.hi, self});
+        }
+        if (dests.anyInRange(f.lo, mid)) {
+            work.push_back({f.level + 1, topo.nextLine(f.line, 0),
+                            f.lo, mid, self});
+        }
+    }
+    return trace;
+}
+
+std::vector<Traversal>
+OmegaNetwork::traceScheme3(NodeId src, const Subcube &cube,
+                           Bits payload_bits) const
+{
+    checkPort(src);
+    panic_if(cube.mask >= topo.numPorts() ||
+             cube.base >= topo.numPorts(),
+             "subcube outside the network");
+
+    unsigned m = topo.numStages();
+
+    struct Frame
+    {
+        unsigned level;
+        unsigned line;
+        std::int32_t parent;
+    };
+
+    std::vector<Traversal> trace;
+    std::vector<Frame> work;
+    work.push_back({0, src, -1});
+
+    while (!work.empty()) {
+        Frame f = work.back();
+        work.pop_back();
+
+        trace.push_back({f.level, f.line,
+                         payload_bits + headerBits(
+                             Scheme::BroadcastTag, f.level),
+                         f.parent});
+        auto self = static_cast<std::int32_t>(trace.size()) - 1;
+
+        if (f.level == m)
+            continue;
+
+        unsigned bit_pos = m - 1 - f.level;
+        bool broadcast = (cube.mask >> bit_pos) & 1;
+        if (broadcast) {
+            work.push_back({f.level + 1, topo.nextLine(f.line, 1),
+                            self});
+            work.push_back({f.level + 1, topo.nextLine(f.line, 0),
+                            self});
+        } else {
+            unsigned out = (cube.base >> bit_pos) & 1;
+            work.push_back({f.level + 1, topo.nextLine(f.line, out),
+                            self});
+        }
+    }
+    return trace;
+}
+
+RouteResult
+OmegaNetwork::evaluate(const std::vector<Traversal> &trace) const
+{
+    RouteResult r;
+    r.bitsPerLevel.assign(topo.numLinkLevels(), 0);
+    unsigned m = topo.numStages();
+    for (const auto &t : trace) {
+        r.bitsPerLevel[t.level] += t.bits;
+        r.totalBits += t.bits;
+        ++r.traversals;
+        if (t.level == m)
+            r.delivered.push_back(t.line);
+    }
+    std::sort(r.delivered.begin(), r.delivered.end());
+    return r;
+}
+
+RouteResult
+OmegaNetwork::commit(const std::vector<Traversal> &trace)
+{
+    for (const auto &t : trace)
+        stats.add(t.level, t.line, t.bits);
+    return evaluate(trace);
+}
+
+RouteResult
+OmegaNetwork::unicast(NodeId src, NodeId dst, Bits payload_bits)
+{
+    RouteResult r = commit(traceUnicast(src, dst, payload_bits));
+    r.used = Scheme::Unicasts;
+    return r;
+}
+
+RouteResult
+OmegaNetwork::multicast(Scheme scheme, NodeId src,
+                        const std::vector<NodeId> &dests,
+                        Bits payload_bits)
+{
+    if (scheme == Scheme::Combined)
+        return multicastCombined(src, dests, payload_bits);
+
+    RouteResult r;
+    switch (scheme) {
+      case Scheme::Unicasts:
+        r = commit(traceScheme1(src, dests, payload_bits));
+        break;
+      case Scheme::VectorRouting: {
+        DynamicBitset v(topo.numPorts());
+        for (NodeId d : dests) {
+            checkPort(d);
+            v.set(d);
+        }
+        r = commit(traceScheme2(src, v, payload_bits));
+        break;
+      }
+      case Scheme::BroadcastTag: {
+        if (dests.empty())
+            break;
+        Subcube cube = Subcube::enclosing(dests);
+        r = commit(traceScheme3(src, cube, payload_bits));
+        r.overshoot = static_cast<unsigned>(
+            r.delivered.size() - dests.size());
+        break;
+      }
+      case Scheme::Combined:
+        break; // handled above
+    }
+    r.used = scheme;
+    return r;
+}
+
+std::array<RouteResult, 3>
+OmegaNetwork::evaluateAllSchemes(NodeId src,
+                                 const std::vector<NodeId> &dests,
+                                 Bits payload_bits) const
+{
+    std::array<RouteResult, 3> out;
+
+    out[0] = evaluate(traceScheme1(src, dests, payload_bits));
+    out[0].used = Scheme::Unicasts;
+
+    DynamicBitset v(topo.numPorts());
+    for (NodeId d : dests)
+        v.set(d);
+    out[1] = evaluate(traceScheme2(src, v, payload_bits));
+    out[1].used = Scheme::VectorRouting;
+
+    if (!dests.empty()) {
+        Subcube cube = Subcube::enclosing(dests);
+        out[2] = evaluate(traceScheme3(src, cube, payload_bits));
+        out[2].overshoot = static_cast<unsigned>(
+            out[2].delivered.size() - dests.size());
+    }
+    out[2].used = Scheme::BroadcastTag;
+
+    return out;
+}
+
+RouteResult
+OmegaNetwork::multicastCombined(NodeId src,
+                                const std::vector<NodeId> &dests,
+                                Bits payload_bits)
+{
+    if (dests.empty())
+        return RouteResult{std::vector<Bits>(topo.numLinkLevels(), 0),
+                           0, 0, {}, 0, Scheme::Combined};
+
+    auto costs = evaluateAllSchemes(src, dests, payload_bits);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < costs.size(); ++i)
+        if (costs[i].totalBits < costs[best].totalBits)
+            best = i;
+
+    Scheme chosen = costs[best].used;
+    RouteResult r = multicast(chosen, src, dests, payload_bits);
+    return r;
+}
+
+} // namespace mscp::net

@@ -1,0 +1,332 @@
+#include "radix_network.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace mscp::net
+{
+
+namespace
+{
+
+unsigned
+digitOf(const RadixOmegaTopology &topo, unsigned value,
+        unsigned position)
+{
+    return (value / topo.powRadix(position)) % topo.radix();
+}
+
+} // anonymous namespace
+
+std::vector<NodeId>
+RadixSubcube::members(const RadixOmegaTopology &topo) const
+{
+    std::vector<NodeId> out;
+    for (unsigned addr = 0; addr < topo.numPorts(); ++addr)
+        if (contains(topo, addr))
+            out.push_back(addr);
+    return out;
+}
+
+unsigned
+RadixSubcube::size(const RadixOmegaTopology &topo) const
+{
+    unsigned free_digits = static_cast<unsigned>(
+        std::popcount(freeMask));
+    unsigned s = 1;
+    for (unsigned i = 0; i < free_digits; ++i)
+        s *= topo.radix();
+    return s;
+}
+
+bool
+RadixSubcube::contains(const RadixOmegaTopology &topo,
+                       unsigned addr) const
+{
+    for (unsigned d = 0; d < topo.numStages(); ++d) {
+        if ((freeMask >> d) & 1)
+            continue;
+        if (digitOf(topo, addr, d) != digitOf(topo, base, d))
+            return false;
+    }
+    return true;
+}
+
+RadixSubcube
+RadixSubcube::enclosing(const RadixOmegaTopology &topo,
+                        const std::vector<NodeId> &dests)
+{
+    panic_if(dests.empty(), "enclosing cube of empty set");
+    RadixSubcube cube;
+    cube.base = dests.front();
+    for (NodeId v : dests) {
+        for (unsigned d = 0; d < topo.numStages(); ++d) {
+            if (digitOf(topo, v, d) != digitOf(topo, cube.base, d))
+                cube.freeMask |= 1u << d;
+        }
+    }
+    return cube;
+}
+
+RadixOmegaNetwork::RadixOmegaNetwork(unsigned num_ports,
+                                     unsigned radix)
+    : topo(num_ports, radix),
+      stats(topo.numLinkLevels(), topo.numPorts())
+{
+}
+
+Bits
+RadixOmegaNetwork::headerBits(Scheme scheme, unsigned level) const
+{
+    unsigned m = topo.numStages();
+    switch (scheme) {
+      case Scheme::Unicasts:
+        return Bits{m - level} * topo.digitBits();
+      case Scheme::VectorRouting:
+        return Bits{topo.numPorts() / topo.powRadix(level)};
+      case Scheme::BroadcastTag:
+        return Bits{m - level} * (1 + topo.digitBits());
+      case Scheme::Combined:
+        break;
+    }
+    panic("headerBits on combined scheme");
+}
+
+std::vector<Traversal>
+RadixOmegaNetwork::traceUnicast(NodeId src, NodeId dst,
+                                Bits payload_bits) const
+{
+    panic_if(src >= topo.numPorts() || dst >= topo.numPorts(),
+             "port out of range");
+    std::vector<Traversal> trace;
+    auto lines = topo.path(src, dst);
+    std::int32_t parent = -1;
+    for (unsigned level = 0; level < lines.size(); ++level) {
+        trace.push_back({level, lines[level],
+                         payload_bits + headerBits(
+                             Scheme::Unicasts, level),
+                         parent});
+        parent = static_cast<std::int32_t>(trace.size()) - 1;
+    }
+    return trace;
+}
+
+std::vector<Traversal>
+RadixOmegaNetwork::traceScheme1(NodeId src,
+                                const std::vector<NodeId> &dests,
+                                Bits payload_bits) const
+{
+    std::vector<Traversal> trace;
+    for (NodeId d : dests) {
+        auto one = traceUnicast(src, d, payload_bits);
+        auto base = static_cast<std::int32_t>(trace.size());
+        for (auto &t : one) {
+            if (t.parent >= 0)
+                t.parent += base;
+            trace.push_back(t);
+        }
+    }
+    return trace;
+}
+
+std::vector<Traversal>
+RadixOmegaNetwork::traceScheme2(NodeId src,
+                                const DynamicBitset &dests,
+                                Bits payload_bits) const
+{
+    panic_if(dests.size() != topo.numPorts(),
+             "scheme-2 vector size mismatch");
+    std::vector<Traversal> trace;
+    if (dests.none())
+        return trace;
+
+    unsigned m = topo.numStages();
+    unsigned a = topo.radix();
+
+    struct Frame
+    {
+        unsigned level;
+        unsigned line;
+        unsigned lo;
+        unsigned hi;
+        std::int32_t parent;
+    };
+
+    std::vector<Frame> work;
+    work.push_back({0, src, 0, topo.numPorts(), -1});
+
+    while (!work.empty()) {
+        Frame f = work.back();
+        work.pop_back();
+
+        trace.push_back({f.level, f.line,
+                         payload_bits + headerBits(
+                             Scheme::VectorRouting, f.level),
+                         f.parent});
+        auto self = static_cast<std::int32_t>(trace.size()) - 1;
+
+        if (f.level == m)
+            continue;
+
+        // Split the covered range into a equal parts; forward the
+        // subvector on every output whose part is non-empty. Push
+        // in reverse so part 0 is walked first.
+        unsigned part = (f.hi - f.lo) / a;
+        for (unsigned out = a; out-- > 0;) {
+            unsigned lo = f.lo + out * part;
+            unsigned hi = lo + part;
+            if (dests.anyInRange(lo, hi)) {
+                work.push_back({f.level + 1,
+                                topo.nextLine(f.line, out),
+                                lo, hi, self});
+            }
+        }
+    }
+    return trace;
+}
+
+std::vector<Traversal>
+RadixOmegaNetwork::traceScheme3(NodeId src, const RadixSubcube &cube,
+                                Bits payload_bits) const
+{
+    unsigned m = topo.numStages();
+    unsigned a = topo.radix();
+
+    struct Frame
+    {
+        unsigned level;
+        unsigned line;
+        std::int32_t parent;
+    };
+
+    std::vector<Traversal> trace;
+    std::vector<Frame> work;
+    work.push_back({0, src, -1});
+
+    while (!work.empty()) {
+        Frame f = work.back();
+        work.pop_back();
+
+        trace.push_back({f.level, f.line,
+                         payload_bits + headerBits(
+                             Scheme::BroadcastTag, f.level),
+                         f.parent});
+        auto self = static_cast<std::int32_t>(trace.size()) - 1;
+
+        if (f.level == m)
+            continue;
+
+        unsigned digit_pos = m - 1 - f.level;
+        bool broadcast = (cube.freeMask >> digit_pos) & 1;
+        if (broadcast) {
+            for (unsigned out = a; out-- > 0;) {
+                work.push_back({f.level + 1,
+                                topo.nextLine(f.line, out), self});
+            }
+        } else {
+            unsigned out = (cube.base / topo.powRadix(digit_pos)) %
+                a;
+            work.push_back({f.level + 1,
+                            topo.nextLine(f.line, out), self});
+        }
+    }
+    return trace;
+}
+
+RouteResult
+RadixOmegaNetwork::evaluate(const std::vector<Traversal> &trace)
+    const
+{
+    RouteResult r;
+    r.bitsPerLevel.assign(topo.numLinkLevels(), 0);
+    unsigned m = topo.numStages();
+    for (const auto &t : trace) {
+        r.bitsPerLevel[t.level] += t.bits;
+        r.totalBits += t.bits;
+        ++r.traversals;
+        if (t.level == m)
+            r.delivered.push_back(t.line);
+    }
+    std::sort(r.delivered.begin(), r.delivered.end());
+    return r;
+}
+
+RouteResult
+RadixOmegaNetwork::commit(const std::vector<Traversal> &trace)
+{
+    for (const auto &t : trace)
+        stats.add(t.level, t.line, t.bits);
+    return evaluate(trace);
+}
+
+RouteResult
+RadixOmegaNetwork::multicast(Scheme scheme, NodeId src,
+                             const std::vector<NodeId> &dests,
+                             Bits payload_bits)
+{
+    if (scheme == Scheme::Combined)
+        return multicastCombined(src, dests, payload_bits);
+
+    RouteResult r;
+    switch (scheme) {
+      case Scheme::Unicasts:
+        r = commit(traceScheme1(src, dests, payload_bits));
+        break;
+      case Scheme::VectorRouting: {
+        DynamicBitset v(topo.numPorts());
+        for (NodeId d : dests)
+            v.set(d);
+        r = commit(traceScheme2(src, v, payload_bits));
+        break;
+      }
+      case Scheme::BroadcastTag: {
+        if (dests.empty())
+            break;
+        auto cube = RadixSubcube::enclosing(topo, dests);
+        r = commit(traceScheme3(src, cube, payload_bits));
+        r.overshoot = static_cast<unsigned>(
+            r.delivered.size() - dests.size());
+        break;
+      }
+      case Scheme::Combined:
+        break;
+    }
+    r.used = scheme;
+    return r;
+}
+
+RouteResult
+RadixOmegaNetwork::multicastCombined(NodeId src,
+                                     const std::vector<NodeId> &
+                                         dests,
+                                     Bits payload_bits)
+{
+    if (dests.empty()) {
+        return RouteResult{std::vector<Bits>(topo.numLinkLevels(),
+                                             0),
+                           0, 0, {}, 0, Scheme::Combined};
+    }
+
+    std::array<RouteResult, 3> costs;
+    costs[0] = evaluate(traceScheme1(src, dests, payload_bits));
+    costs[0].used = Scheme::Unicasts;
+    DynamicBitset v(topo.numPorts());
+    for (NodeId d : dests)
+        v.set(d);
+    costs[1] = evaluate(traceScheme2(src, v, payload_bits));
+    costs[1].used = Scheme::VectorRouting;
+    costs[2] = evaluate(traceScheme3(
+        src, RadixSubcube::enclosing(topo, dests), payload_bits));
+    costs[2].used = Scheme::BroadcastTag;
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < costs.size(); ++i)
+        if (costs[i].totalBits < costs[best].totalBits)
+            best = i;
+    return multicast(costs[best].used, src, dests, payload_bits);
+}
+
+} // namespace mscp::net

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional radix-a omega network with the three multicast schemes
+ * generalized from Sec. 3.
+ *
+ * Header-size model (the radix-2 case reduces to OmegaNetwork's):
+ *  - scheme 1: (m - i) routing digits of ceil(log2 a) bits each,
+ *  - scheme 2: the N/a^i-bit destination subvector (switches split
+ *    it a ways),
+ *  - scheme 3: (m - i) per-stage fields of 1 broadcast bit plus one
+ *    digit.
+ *
+ * Scheme 3's reachable sets generalize subcubes: a RadixSubcube
+ * fixes a digit per stage except on a set of "free" stages that
+ * broadcast to all a outputs.
+ */
+
+#ifndef MSCP_NET_RADIX_NETWORK_HH
+#define MSCP_NET_RADIX_NETWORK_HH
+
+#include <vector>
+
+#include "net/link_stats.hh"
+#include "net/radix_topology.hh"
+#include "net/route.hh"
+#include "sim/bitset.hh"
+#include "sim/types.hh"
+
+namespace mscp::net
+{
+
+/** A radix generalized subcube: digits free on selected stages. */
+struct RadixSubcube
+{
+    unsigned base = 0;     ///< digits on the constrained stages
+    unsigned freeMask = 0; ///< bit d set: digit position d is free
+
+    /** Members of the cube within an (N, a) topology. */
+    std::vector<NodeId> members(
+        const RadixOmegaTopology &topo) const;
+
+    /** Number of members: a^(popcount of freeMask). */
+    unsigned size(const RadixOmegaTopology &topo) const;
+
+    /** @return true iff @p addr is a member. */
+    bool contains(const RadixOmegaTopology &topo,
+                  unsigned addr) const;
+
+    /** Smallest enclosing cube of a destination set. */
+    static RadixSubcube enclosing(const RadixOmegaTopology &topo,
+                                  const std::vector<NodeId> &dests);
+};
+
+/** Functional radix-a omega network. */
+class RadixOmegaNetwork
+{
+  public:
+    RadixOmegaNetwork(unsigned num_ports, unsigned radix);
+
+    const RadixOmegaTopology &topology() const { return topo; }
+    unsigned numPorts() const { return topo.numPorts(); }
+    unsigned radix() const { return topo.radix(); }
+    unsigned numStages() const { return topo.numStages(); }
+
+    LinkStats &linkStats() { return stats; }
+    const LinkStats &linkStats() const { return stats; }
+
+    /** @{ trace builders (no side effects) */
+    std::vector<Traversal> traceUnicast(NodeId src, NodeId dst,
+                                        Bits payload_bits) const;
+    std::vector<Traversal> traceScheme1(
+        NodeId src, const std::vector<NodeId> &dests,
+        Bits payload_bits) const;
+    std::vector<Traversal> traceScheme2(
+        NodeId src, const DynamicBitset &dests,
+        Bits payload_bits) const;
+    std::vector<Traversal> traceScheme3(
+        NodeId src, const RadixSubcube &cube,
+        Bits payload_bits) const;
+    /** @} */
+
+    /** Cost of a trace without committing. */
+    RouteResult evaluate(const std::vector<Traversal> &trace) const;
+
+    /** Cost of a trace, accumulated into the link statistics. */
+    RouteResult commit(const std::vector<Traversal> &trace);
+
+    /** Multicast with a fixed scheme (committed). */
+    RouteResult multicast(Scheme scheme, NodeId src,
+                          const std::vector<NodeId> &dests,
+                          Bits payload_bits);
+
+    /** Min-cost combined scheme (eq. 8 generalized). */
+    RouteResult multicastCombined(NodeId src,
+                                  const std::vector<NodeId> &dests,
+                                  Bits payload_bits);
+
+  private:
+    Bits headerBits(Scheme scheme, unsigned level) const;
+
+    RadixOmegaTopology topo;
+    LinkStats stats;
+};
+
+} // namespace mscp::net
+
+#endif // MSCP_NET_RADIX_NETWORK_HH

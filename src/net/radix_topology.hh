@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Geometry of an N x N omega network built from a x a switches.
+ *
+ * The paper analyzes 2 x 2 switches "even if the results can be
+ * generalized to other topologies of multistage networks with other
+ * switches" (Sec. 3); this is that generalization. With radix a and
+ * N = a^m ports there are m switch stages of N/a switches; the
+ * inter-stage permutation is the base-a perfect shuffle (rotate the
+ * m-digit line number left by one digit), and destination-digit
+ * routing consumes one base-a digit per stage, most significant
+ * first. Radix 2 degenerates to OmegaTopology exactly (verified in
+ * tests/net/test_radix.cc).
+ */
+
+#ifndef MSCP_NET_RADIX_TOPOLOGY_HH
+#define MSCP_NET_RADIX_TOPOLOGY_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mscp::net
+{
+
+/** Static geometry of a radix-a omega network. */
+class RadixOmegaTopology
+{
+  public:
+    /**
+     * @param num_ports N; must be a^m for some integer m >= 1
+     * @param radix a; the switch degree, >= 2
+     */
+    RadixOmegaTopology(unsigned num_ports, unsigned radix);
+
+    unsigned numPorts() const { return n; }
+    unsigned radix() const { return a; }
+    unsigned numStages() const { return m; }
+    unsigned numLinkLevels() const { return m + 1; }
+    unsigned switchesPerStage() const { return n / a; }
+
+    /** Bits needed to encode one routing digit. */
+    unsigned digitBits() const { return _digitBits; }
+
+    /** Base-a perfect shuffle: rotate digits left by one. */
+    unsigned
+    shuffle(unsigned line) const
+    {
+        return (line * a) % n + (line * a) / n;
+    }
+
+    /** Inverse shuffle: rotate digits right by one. */
+    unsigned
+    unshuffle(unsigned line) const
+    {
+        return line / a + (line % a) * (n / a);
+    }
+
+    /** Destination digit consumed at @p stage (MSD first). */
+    unsigned
+    destDigit(unsigned dest, unsigned stage) const
+    {
+        return (dest / pow_a[m - 1 - stage]) % a;
+    }
+
+    /** Line after traversing @p stage via output @p digit. */
+    unsigned
+    nextLine(unsigned line_in, unsigned digit) const
+    {
+        unsigned s = shuffle(line_in);
+        return s - (s % a) + digit;
+    }
+
+    /** a^e (e <= m). */
+    unsigned powRadix(unsigned e) const { return pow_a[e]; }
+
+    /** Full source->destination path over link levels 0..m. */
+    std::vector<unsigned> path(unsigned src, unsigned dst) const;
+
+    /** Destinations reachable from (level, line), as [lo, hi). */
+    void reachable(unsigned level, unsigned line,
+                   unsigned &lo, unsigned &hi) const;
+
+  private:
+    unsigned n;
+    unsigned a;
+    unsigned m;
+    unsigned _digitBits;
+    std::vector<unsigned> pow_a; ///< a^0 .. a^m
+};
+
+} // namespace mscp::net
+
+#endif // MSCP_NET_RADIX_TOPOLOGY_HH

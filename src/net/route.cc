@@ -1,0 +1,50 @@
+#include "route.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace mscp::net
+{
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Unicasts: return "scheme1";
+      case Scheme::VectorRouting: return "scheme2";
+      case Scheme::BroadcastTag: return "scheme3";
+      case Scheme::Combined: return "combined";
+    }
+    return "unknown";
+}
+
+unsigned
+Subcube::size() const
+{
+    return 1u << std::popcount(mask);
+}
+
+std::vector<NodeId>
+Subcube::members(unsigned num_ports) const
+{
+    std::vector<NodeId> out;
+    out.reserve(size());
+    for (unsigned a = 0; a < num_ports; ++a)
+        if (contains(a))
+            out.push_back(a);
+    return out;
+}
+
+Subcube
+Subcube::enclosing(const std::vector<NodeId> &dests)
+{
+    panic_if(dests.empty(), "enclosing subcube of empty set");
+    unsigned base = dests.front();
+    unsigned mask = 0;
+    for (NodeId d : dests)
+        mask |= (d ^ base);
+    return Subcube{base & ~mask, mask};
+}
+
+} // namespace mscp::net

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Route traces and results for omega-network transfers.
+ *
+ * Every routing scheme produces a *trace*: the list of link
+ * traversals the message tree performs, each annotated with the link
+ * coordinates, the bits crossing that link (payload plus whatever
+ * routing header the scheme still carries at that level), and the
+ * index of the parent traversal. The trace is consumed either
+ * functionally (accumulate into LinkStats) or by the timed network
+ * (store-and-forward with contention).
+ */
+
+#ifndef MSCP_NET_ROUTE_HH
+#define MSCP_NET_ROUTE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mscp::net
+{
+
+/** The multicast schemes of Sec. 3. */
+enum class Scheme : std::uint8_t
+{
+    Unicasts = 1,     ///< scheme 1: one destination-tag message each
+    VectorRouting = 2,///< scheme 2: present-flag vector as routing tag
+    BroadcastTag = 3, ///< scheme 3: Wen's 2m-bit broadcast tag
+    Combined = 4,     ///< min-cost choice among 1/2/3 (eq. 8)
+};
+
+/** Printable name of a scheme. */
+const char *schemeName(Scheme s);
+
+/** One link traversal of a message tree. */
+struct Traversal
+{
+    /** Link level (0 = injection, m = delivery). */
+    unsigned level;
+    /** Line number within the level. */
+    unsigned line;
+    /** Bits crossing the link (payload + remaining header). */
+    Bits bits;
+    /** Index of the parent traversal, or -1 for roots. */
+    std::int32_t parent;
+};
+
+/** Outcome of routing one (multi)cast. */
+struct RouteResult
+{
+    /** Bits crossing links of each level (L_i of eq. 1). */
+    std::vector<Bits> bitsPerLevel;
+    /** Total communication cost CC = sum of bitsPerLevel. */
+    Bits totalBits = 0;
+    /** Number of link traversals. */
+    std::uint64_t traversals = 0;
+    /** Ports that received the message. */
+    std::vector<NodeId> delivered;
+    /** Deliveries beyond the requested set (scheme-3 padding). */
+    unsigned overshoot = 0;
+    /** Scheme that was actually used. */
+    Scheme used = Scheme::Unicasts;
+};
+
+/**
+ * A subcube of destination addresses: every address obtained from
+ * @p base by freely flipping the bits selected by @p mask. Scheme 3
+ * can reach exactly such sets (the paper's "hamming distance <= l"
+ * condition with 2^l destinations).
+ */
+struct Subcube
+{
+    unsigned base = 0; ///< address bits outside the mask
+    unsigned mask = 0; ///< bit positions free to vary
+
+    /** Number of destinations covered (2^popcount(mask)). */
+    unsigned size() const;
+
+    /** @return true iff @p addr is a member. */
+    bool
+    contains(unsigned addr) const
+    {
+        return (addr & ~mask) == (base & ~mask);
+    }
+
+    /** All member addresses, ascending. */
+    std::vector<NodeId> members(unsigned num_ports) const;
+
+    /**
+     * Smallest subcube enclosing @p dests (non-empty). Used to pad a
+     * destination set so scheme 3 becomes applicable; the members not
+     * in @p dests count as overshoot.
+     */
+    static Subcube enclosing(const std::vector<NodeId> &dests);
+};
+
+} // namespace mscp::net
+
+#endif // MSCP_NET_ROUTE_HH

@@ -1,0 +1,111 @@
+#include "timed_network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mscp::net
+{
+
+TimedNetwork::TimedNetwork(OmegaNetwork &network, EventQueue &eq,
+                           Bits link_width_bits, Tick hop_latency)
+    : net(network), eq(eq), linkWidthBits(link_width_bits),
+      hopLatency(hop_latency),
+      linkFree(static_cast<std::size_t>(
+                   network.topology().numLinkLevels()) *
+               network.numPorts(), 0)
+{
+    fatal_if(link_width_bits == 0, "link width must be positive");
+}
+
+Tick
+TimedNetwork::send(const std::vector<Traversal> &trace,
+                   const DeliveryFn &on_delivery)
+{
+    net.commit(trace);
+
+    // Arrival time at the head of each traversal's link. Parents
+    // always precede children in the traces the schemes build, so a
+    // single forward pass resolves the whole tree.
+    std::vector<Tick> done(trace.size(), 0);
+    Tick now = eq.curTick();
+    Tick last = now;
+    unsigned m = net.numStages();
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Traversal &t = trace[i];
+        panic_if(t.parent >= static_cast<std::int32_t>(i),
+                 "trace is not topologically ordered");
+        Tick ready = t.parent < 0
+            ? now : done[static_cast<std::size_t>(t.parent)];
+        Tick &free = linkFree[linkIndex(t.level, t.line)];
+        Tick depart = std::max(ready, free);
+        Tick ser = serialization(t.bits);
+        free = depart + ser;
+        done[i] = depart + ser + hopLatency;
+
+        if (t.level == m) {
+            NodeId dst = t.line;
+            Tick when = done[i];
+            last = std::max(last, when);
+            if (on_delivery)
+                eq.schedule([on_delivery, dst, when] {
+                    on_delivery(dst, when);
+                }, when);
+        }
+    }
+    return last;
+}
+
+Tick
+TimedNetwork::sendUnicast(NodeId src, NodeId dst, Bits payload_bits,
+                          const DeliveryFn &on_delivery)
+{
+    return send(net.traceUnicast(src, dst, payload_bits),
+                on_delivery);
+}
+
+Tick
+TimedNetwork::sendMulticast(Scheme scheme, NodeId src,
+                            const std::vector<NodeId> &dests,
+                            Bits payload_bits,
+                            const DeliveryFn &on_delivery)
+{
+    std::vector<Traversal> trace;
+    switch (scheme) {
+      case Scheme::Unicasts:
+        trace = net.traceScheme1(src, dests, payload_bits);
+        break;
+      case Scheme::VectorRouting: {
+        DynamicBitset v(net.numPorts());
+        for (NodeId d : dests)
+            v.set(d);
+        trace = net.traceScheme2(src, v, payload_bits);
+        break;
+      }
+      case Scheme::BroadcastTag:
+        if (!dests.empty()) {
+            trace = net.traceScheme3(
+                src, Subcube::enclosing(dests), payload_bits);
+        }
+        break;
+      case Scheme::Combined: {
+        auto costs = net.evaluateAllSchemes(src, dests, payload_bits);
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < costs.size(); ++i)
+            if (costs[i].totalBits < costs[best].totalBits)
+                best = i;
+        return sendMulticast(costs[best].used, src, dests,
+                             payload_bits, on_delivery);
+      }
+    }
+    return send(trace, on_delivery);
+}
+
+void
+TimedNetwork::resetContention()
+{
+    std::fill(linkFree.begin(), linkFree.end(), 0);
+}
+
+} // namespace mscp::net

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Store-and-forward timing layer on top of the functional network.
+ *
+ * The paper's evaluation uses the contention-free link-bit metric;
+ * this layer is the extension that lets the simulator also report
+ * latency and queuing effects. Each link is modelled as a serial
+ * resource of @c linkWidthBits bits per tick: a message tree node
+ * departs a link at max(arrival, linkFree), occupies it for
+ * ceil(bits / width) ticks, and reaches the next stage after an
+ * additional @c hopLatency ticks of switch delay.
+ */
+
+#ifndef MSCP_NET_TIMED_NETWORK_HH
+#define MSCP_NET_TIMED_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "net/omega_network.hh"
+#include "sim/eventq.hh"
+#include "sim/types.hh"
+
+namespace mscp::net
+{
+
+/** Per-delivery callback: (destination, arrival tick). */
+using DeliveryFn = std::function<void(NodeId, Tick)>;
+
+/** Timing wrapper around OmegaNetwork. */
+class TimedNetwork
+{
+  public:
+    /**
+     * @param network functional network (owned elsewhere)
+     * @param eq event queue driving the simulation
+     * @param link_width_bits bits a link moves per tick
+     * @param hop_latency switch traversal delay in ticks
+     */
+    TimedNetwork(OmegaNetwork &network, EventQueue &eq,
+                 Bits link_width_bits = 16, Tick hop_latency = 1);
+
+    OmegaNetwork &network() { return net; }
+
+    /** Zero-load latency of one delivery. */
+    Tick
+    zeroLoadLatency(Bits payload_bits) const
+    {
+        Tick per_hop = serialization(payload_bits) + hopLatency;
+        return per_hop * net.hopCount();
+    }
+
+    /**
+     * Send a traced message tree; schedules one callback per
+     * delivery at its contention-aware arrival tick. The trace is
+     * also committed to the functional link statistics.
+     *
+     * @return tick of the last delivery
+     */
+    Tick send(const std::vector<Traversal> &trace,
+              const DeliveryFn &on_delivery);
+
+    /** Convenience: timed unicast. */
+    Tick sendUnicast(NodeId src, NodeId dst, Bits payload_bits,
+                     const DeliveryFn &on_delivery);
+
+    /** Convenience: timed multicast using a fixed scheme. */
+    Tick sendMulticast(Scheme scheme, NodeId src,
+                       const std::vector<NodeId> &dests,
+                       Bits payload_bits,
+                       const DeliveryFn &on_delivery);
+
+    /** Ticks needed to serialize @p bits onto a link. */
+    Tick
+    serialization(Bits bits) const
+    {
+        return (bits + linkWidthBits - 1) / linkWidthBits;
+    }
+
+    /** Reset link-busy bookkeeping (not the bit statistics). */
+    void resetContention();
+
+  private:
+    std::size_t
+    linkIndex(unsigned level, unsigned line) const
+    {
+        return static_cast<std::size_t>(level) *
+            net.numPorts() + line;
+    }
+
+    OmegaNetwork &net;
+    EventQueue &eq;
+    Bits linkWidthBits;
+    Tick hopLatency;
+    /** Tick at which each link becomes free again. */
+    std::vector<Tick> linkFree;
+};
+
+} // namespace mscp::net
+
+#endif // MSCP_NET_TIMED_NETWORK_HH

@@ -1,0 +1,169 @@
+#include "checker.hh"
+
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace mscp::proto
+{
+
+namespace
+{
+
+/** All entries for one block gathered across the system. */
+struct BlockView
+{
+    NodeId owner = invalidNode;
+    const cache::Entry *ownerEntry = nullptr;
+    std::vector<std::pair<NodeId, const cache::Entry *>> holders;
+};
+
+} // anonymous namespace
+
+std::vector<std::string>
+checkInvariants(const StenstromProtocol &proto)
+{
+    SystemView view;
+    view.numCaches = proto.numCaches();
+    view.cacheArray = [&proto](NodeId c) -> const cache::CacheArray & {
+        return proto.cacheArray(c);
+    };
+    view.memoryModule =
+        [&proto](unsigned i) -> const mem::MemoryModule & {
+            return proto.memoryModule(i);
+        };
+    view.homeOf = [&proto](BlockId b) { return proto.homeOf(b); };
+    return checkInvariants(view);
+}
+
+std::vector<std::string>
+checkInvariants(const SystemView &proto)
+{
+    using cache::State;
+    using cache::Mode;
+
+    std::vector<std::string> errs;
+    auto fail = [&](const std::string &s) { errs.push_back(s); };
+
+    unsigned n = proto.numCaches;
+    std::map<BlockId, BlockView> blocks;
+
+    for (unsigned c = 0; c < n; ++c) {
+        for (const cache::Entry *e :
+                 proto.cacheArray(c).occupiedEntries()) {
+            BlockView &bv = blocks[e->block];
+            bv.holders.emplace_back(c, e);
+            if (cache::isOwned(e->field.state)) {
+                if (bv.owner != invalidNode) {
+                    fail(csprintf("I1: block %llu owned by both %u "
+                                  "and %u",
+                                  (unsigned long long)e->block,
+                                  bv.owner, c));
+                }
+                bv.owner = c;
+                bv.ownerEntry = e;
+            }
+        }
+    }
+
+    for (const auto &[blk, bv] : blocks) {
+        NodeId home = proto.homeOf(blk);
+        NodeId bs_owner =
+            proto.memoryModule(home).blockStore().owner(blk);
+
+        if (bv.owner == invalidNode) {
+            fail(csprintf("I7: block %llu has %zu holder(s) but no "
+                          "owner", (unsigned long long)blk,
+                          bv.holders.size()));
+            continue;
+        }
+        if (bs_owner != bv.owner) {
+            fail(csprintf("I1: block %llu owner is cache %u but "
+                          "block store says %u",
+                          (unsigned long long)blk, bv.owner,
+                          bs_owner));
+        }
+
+        const cache::Entry &oe = *bv.ownerEntry;
+        Mode mode = cache::modeOf(oe.field.state);
+
+        // Present vector must be {owner} + holders.
+        if (!oe.field.present.test(bv.owner)) {
+            fail(csprintf("I4: block %llu owner %u missing own "
+                          "present flag", (unsigned long long)blk,
+                          bv.owner));
+        }
+        std::size_t expected_present = 0;
+        for (const auto &[c, e] : bv.holders) {
+            ++expected_present;
+            if (c == bv.owner)
+                continue;
+            if (!oe.field.present.test(c)) {
+                fail(csprintf("I4: block %llu holder %u not in "
+                              "present vector",
+                              (unsigned long long)blk, c));
+            }
+            switch (e->field.state) {
+              case State::UnOwned:
+                if (mode != Mode::DistributedWrite) {
+                    fail(csprintf("I2: block %llu has UnOwned copy "
+                                  "at %u while owner mode is "
+                                  "global-read",
+                                  (unsigned long long)blk, c));
+                }
+                if (e->data != oe.data) {
+                    fail(csprintf("I2: block %llu copy at %u "
+                                  "diverges from owner data",
+                                  (unsigned long long)blk, c));
+                }
+                break;
+              case State::Invalid:
+                if (mode != Mode::GlobalRead) {
+                    fail(csprintf("I3: block %llu has pointer entry "
+                                  "at %u while owner mode is "
+                                  "distributed-write",
+                                  (unsigned long long)blk, c));
+                }
+                if (e->field.owner != bv.owner) {
+                    fail(csprintf("I3: block %llu pointer at %u "
+                                  "names %u, owner is %u",
+                                  (unsigned long long)blk, c,
+                                  e->field.owner, bv.owner));
+                }
+                break;
+              default:
+                fail(csprintf("I1: block %llu non-owner %u in "
+                              "state %s", (unsigned long long)blk,
+                              c, cache::stateName(e->field.state)));
+            }
+        }
+        if (oe.field.present.count() != expected_present) {
+            fail(csprintf("I4: block %llu present count %zu != "
+                          "holder count %zu",
+                          (unsigned long long)blk,
+                          oe.field.present.count(),
+                          expected_present));
+        }
+
+        if (cache::isOwnedExclusive(oe.field.state) &&
+            bv.holders.size() != 1) {
+            fail(csprintf("I5: block %llu owner %u is exclusive but "
+                          "%zu entries exist",
+                          (unsigned long long)blk, bv.owner,
+                          bv.holders.size()));
+        }
+
+        if (!oe.field.modified) {
+            auto mem = proto.memoryModule(home).readBlock(blk);
+            if (mem != oe.data) {
+                fail(csprintf("I6: block %llu unmodified owner copy "
+                              "differs from memory",
+                              (unsigned long long)blk));
+            }
+        }
+    }
+
+    return errs;
+}
+
+} // namespace mscp::proto

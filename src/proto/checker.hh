@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Whole-system invariant checker for the Stenstrom engine.
+ *
+ * Checked invariants (each tied to the paper's definitions):
+ *
+ *  I1  at most one cache owns a block, and the block store of the
+ *      block's home module names exactly that cache;
+ *  I2  a valid non-owner copy (UnOwned) exists only when the owner
+ *      is in distributed-write mode, and its data equals the
+ *      owner's;
+ *  I3  in global-read mode no valid copy other than the owner's
+ *      exists, and every Invalid entry's OWNER field names the
+ *      current owner;
+ *  I4  the owner's present vector is exact: it contains the owner
+ *      itself plus precisely the caches holding the block (valid
+ *      copies in DW mode, Invalid pointer entries in GR mode);
+ *  I5  exclusive states really are exclusive (no other entry for
+ *      the block anywhere);
+ *  I6  an unmodified owner copy equals the memory copy;
+ *  I7  copies without an owner anywhere do not exist (no orphan
+ *      UnOwned/Invalid entries).
+ */
+
+#ifndef MSCP_PROTO_CHECKER_HH
+#define MSCP_PROTO_CHECKER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/stenstrom.hh"
+
+namespace mscp::proto
+{
+
+/**
+ * Engine-agnostic view of a two-mode-protocol system's state, so
+ * the same invariants verify the atomic and the concurrent engine.
+ */
+struct SystemView
+{
+    unsigned numCaches = 0;
+    std::function<const cache::CacheArray &(NodeId)> cacheArray;
+    std::function<const mem::MemoryModule &(unsigned)> memoryModule;
+    std::function<NodeId(BlockId)> homeOf;
+};
+
+/**
+ * Run every invariant over an arbitrary system view (the system
+ * must be quiescent: no transactions in flight).
+ *
+ * @return human-readable descriptions of all violations (empty if
+ *         the system is consistent)
+ */
+std::vector<std::string> checkInvariants(const SystemView &view);
+
+/** Convenience overload for the atomic engine. */
+std::vector<std::string> checkInvariants(
+    const StenstromProtocol &proto);
+
+} // namespace mscp::proto
+
+#endif // MSCP_PROTO_CHECKER_HH

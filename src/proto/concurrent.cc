@@ -1,0 +1,1221 @@
+#include "concurrent.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mscp::proto
+{
+
+using cache::Mode;
+using cache::State;
+
+ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
+                                       ConcurrentParams p)
+    : params(p), net(network),
+      timedNet(network, eq, p.linkWidthBits, p.hopLatency)
+{
+    params.geometry.check();
+    unsigned n = network.numPorts();
+    cpus.reserve(n);
+    homes.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        cpus.emplace_back(params.geometry, n);
+        homes.emplace_back(static_cast<NodeId>(i),
+                           params.geometry.blockWords);
+    }
+}
+
+ConcurrentProtocol::~ConcurrentProtocol() = default;
+
+cache::Entry *
+ConcurrentProtocol::findEntry(NodeId cpu, BlockId blk)
+{
+    return cpus[cpu].array.find(blk);
+}
+
+std::vector<NodeId>
+ConcurrentProtocol::othersPresent(const Entry &e, NodeId self) const
+{
+    std::vector<NodeId> out;
+    for (auto i : e.field.present.setBits())
+        if (i != self)
+            out.push_back(i);
+    return out;
+}
+
+void
+ConcurrentProtocol::maybeExclusive(Entry &e, NodeId self)
+{
+    if (e.field.present.count() == 1 && e.field.present.test(self)) {
+        e.field.state = cache::ownedState(
+            cache::modeOf(e.field.state), true);
+    }
+}
+
+Bits
+ConcurrentProtocol::payloadBits(const Msg &m) const
+{
+    unsigned n = numCaches();
+    unsigned bw = params.geometry.blockWords;
+    switch (m.type) {
+      case MsgType::DataBlock:
+      case MsgType::WriteBack:
+        return params.sizes.blockPayload(bw);
+      case MsgType::Datum:
+        return params.sizes.wordBits +
+            params.sizes.ownerIdPayload(n);
+      case MsgType::StateXfer:
+        return params.sizes.statePayload(n);
+      case MsgType::StateCopyXfer:
+        return params.sizes.statePayload(n) +
+            params.sizes.blockPayload(bw);
+      case MsgType::DwUpdate:
+        return params.sizes.wordBits;
+      case MsgType::OwnerAnnounce:
+        return params.sizes.ownerIdPayload(n);
+      case MsgType::EvictDone:
+        return m.data.empty()
+            ? 0 : params.sizes.blockPayload(bw);
+      default:
+        return 0;
+    }
+}
+
+void
+ConcurrentProtocol::send(Msg m)
+{
+    Bits total = params.sizes.control() + payloadBits(m);
+    msgs.record(m.type, total);
+    if (m.src == m.dst) {
+        // Co-located processor-memory element: local exchange.
+        eq.scheduleIn([this, m] { deliver(m); }, 1);
+        return;
+    }
+    Msg copy = m;
+    timedNet.sendUnicast(m.src, m.dst, total,
+                         [this, copy](NodeId, Tick) {
+                             deliver(copy);
+                         });
+}
+
+void
+ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
+                                     const std::vector<NodeId> &
+                                         dests,
+                                     Bits payload, BlockId blk,
+                                     unsigned offset,
+                                     std::uint64_t value,
+                                     NodeId aux_owner)
+{
+    if (dests.empty())
+        return;
+    Bits total = params.sizes.control() + payload;
+    msgs.record(t, total);
+    Msg proto_msg;
+    proto_msg.type = t;
+    proto_msg.src = src;
+    proto_msg.toMemory = false;
+    proto_msg.blk = blk;
+    proto_msg.offset = offset;
+    proto_msg.value = value;
+    proto_msg.requester = aux_owner;
+    timedNet.sendMulticast(
+        params.multicastScheme, src, dests, total,
+        [this, proto_msg](NodeId dst, Tick) {
+            Msg m = proto_msg;
+            m.dst = dst;
+            deliver(m);
+        });
+}
+
+void
+ConcurrentProtocol::deliver(const Msg &m)
+{
+    DPRINTF("Concurrent", "t=%llu %s %u->%u blk=%llu req=%u "
+            "off=%u val=%llu flag=%d %s",
+            static_cast<unsigned long long>(eq.curTick()),
+            msgTypeName(m.type), m.src, m.dst,
+            static_cast<unsigned long long>(m.blk), m.requester,
+            m.offset, static_cast<unsigned long long>(m.value),
+            m.flag, m.toMemory ? "mem" : "cache");
+    if (m.toMemory)
+        handleMemMsg(m);
+    else
+        handleCacheMsg(m);
+}
+
+// ---------------------------------------------------------------
+// CPU side
+// ---------------------------------------------------------------
+
+void
+ConcurrentProtocol::issueNext(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    if (cs.active || cs.queue.empty())
+        return;
+    cs.ref = cs.queue.front();
+    cs.queue.pop_front();
+    cs.active = true;
+    cs.issueTick = eq.curTick();
+    DPRINTF("Concurrent", "t=%llu cpu%u issues %c @%llu val=%llu",
+            static_cast<unsigned long long>(eq.curTick()), cpu,
+            cs.ref.isWrite ? 'W' : 'R',
+            static_cast<unsigned long long>(cs.ref.addr),
+            static_cast<unsigned long long>(cs.ref.value));
+    cs.phase = Phase::Idle;
+    cs.pointerRetries = 0;
+    if (cs.ref.isWrite) {
+        ++ctrs.writes;
+        monitorWritePending(cs.ref.addr, cs.ref.value);
+    } else {
+        ++ctrs.reads;
+    }
+    startAccess(cpu);
+}
+
+void
+ConcurrentProtocol::completeRef(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    panic_if(!cs.active, "completing an idle cpu");
+    Tick latency = eq.curTick() - cs.issueTick;
+    if (cs.ref.isWrite) {
+        monitorWriteComplete(cs.ref.addr, cs.ref.value);
+        writeLatSum += static_cast<double>(latency);
+        ++writesDone;
+    } else {
+        readLatSum += static_cast<double>(latency);
+        ++readsDone;
+    }
+    cs.pinnedTx.erase(params.geometry.blockOf(cs.ref.addr));
+    cs.active = false;
+    cs.phase = Phase::Idle;
+    --refsOutstanding;
+    eq.scheduleIn([this, cpu] { issueNext(cpu); },
+                  params.thinkTime + 1);
+}
+
+void
+ConcurrentProtocol::startAccess(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    BlockId blk = params.geometry.blockOf(cs.ref.addr);
+    unsigned off = params.geometry.offsetOf(cs.ref.addr);
+
+    if (cs.clearPending.count(blk)) {
+        // A PresentClear for this block is still in flight; do not
+        // re-register at the owner until it is acknowledged (the
+        // clear could bounce via a NACK re-forward and erase the
+        // fresh registration).
+        eq.scheduleIn([this, cpu] { startAccess(cpu); }, 20);
+        return;
+    }
+    Entry *e = findEntry(cpu, blk);
+
+    if (!cs.ref.isWrite) {
+        if (e && cache::isValid(e->field.state)) {
+            ++ctrs.readHits;
+            cs.array.touch(*e);
+            checkReadSample(cs.ref.addr, e->data[off]);
+            eq.scheduleIn([this, cpu] { completeRef(cpu); },
+                          params.hitLatency);
+            return;
+        }
+        if (e && e->field.owner != invalidNode &&
+            cs.pointerRetries < 2) {
+            // OWNER-pointer bypass; may race and be NACKed. After
+            // two races the transaction falls back to the home.
+            ++ctrs.pointerReads;
+            cs.pinnedTx.insert(blk);
+            cs.phase = Phase::WaitPointer;
+            Msg m;
+            m.type = MsgType::LoadReq;
+            m.src = cpu;
+            m.dst = e->field.owner;
+            m.blk = blk;
+            m.offset = off;
+            m.requester = cpu;
+            send(m);
+            return;
+        }
+        if (!allocateForMiss(cpu, blk))
+            return; // eviction or retry in progress
+        beginMissRequest(cpu, blk);
+        return;
+    }
+
+    if (e && cache::isValid(e->field.state)) {
+        cs.array.touch(*e);
+        if (cache::isOwned(e->field.state)) {
+            ++ctrs.writeHits;
+            performOwnedWrite(cpu);
+            return;
+        }
+        // UnOwned: acquire ownership through the home.
+        cs.pinnedTx.insert(blk);
+        cs.phase = Phase::WaitOwnXfer;
+        Msg m;
+        m.type = MsgType::OwnReq;
+        m.src = cpu;
+        m.dst = homeOf(blk);
+        m.toMemory = true;
+        m.blk = blk;
+        m.requester = cpu;
+        send(m);
+        return;
+    }
+    if (!allocateForMiss(cpu, blk))
+        return;
+    beginMissRequest(cpu, blk);
+}
+
+void
+ConcurrentProtocol::performOwnedWrite(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    BlockId blk = params.geometry.blockOf(cs.ref.addr);
+    unsigned off = params.geometry.offsetOf(cs.ref.addr);
+    Entry *e = findEntry(cpu, blk);
+    panic_if(!e || !cache::isOwned(e->field.state),
+             "owned write without ownership");
+
+    e->data[off] = cs.ref.value;
+    e->field.modified = true;
+
+    if (e->field.state == State::OwnedNonExclDW) {
+        auto dests = othersPresent(*e, cpu);
+        if (!dests.empty()) {
+            ++ctrs.dwUpdates;
+            cs.ackFrom.clear();
+            for (NodeId d : dests)
+                cs.ackFrom.insert(d);
+            cs.pendingAcks = static_cast<unsigned>(dests.size());
+            cs.pinnedTx.insert(blk);
+            cs.phase = Phase::WaitDwAcks;
+            sendMulticastMsg(MsgType::DwUpdate, cpu, dests,
+                             params.sizes.wordBits, blk, off,
+                             cs.ref.value, cpu);
+            return;
+        }
+    }
+    eq.scheduleIn([this, cpu] { completeRef(cpu); },
+                  params.hitLatency);
+}
+
+bool
+ConcurrentProtocol::allocateForMiss(NodeId cpu, BlockId blk)
+{
+    CpuState &cs = cpus[cpu];
+    if (Entry *e = cs.array.find(blk)) {
+        cs.array.touch(*e);
+        cs.pinnedTx.insert(blk);
+        return true;
+    }
+    Entry *victim = cs.array.pickVictimFiltered(
+        blk, [&cs](const Entry &e) {
+            return !cs.isPinned(e.block);
+        });
+    if (!victim) {
+        // Every way pinned by in-flight work: retry shortly.
+        eq.scheduleIn([this, cpu] { startAccess(cpu); }, 10);
+        return false;
+    }
+    if (!victim->occupied) {
+        cs.array.install(*victim, blk);
+        cs.pinnedTx.insert(blk);
+        return true;
+    }
+
+    // Eviction needed.
+    ++ctrs.evictions;
+    cs.evicting = true;
+    cs.victimBlk = victim->block;
+    switch (victim->field.state) {
+      case State::UnOwned:
+      case State::Invalid: {
+        // Fire-and-forget present-flag clear via the home.
+        Msg m;
+        m.type = MsgType::PresentClear;
+        m.src = cpu;
+        m.dst = homeOf(cs.victimBlk);
+        m.toMemory = true;
+        m.blk = cs.victimBlk;
+        m.requester = cpu;
+        send(m);
+        cs.clearPending.insert(cs.victimBlk);
+        cs.array.evict(*victim);
+        cs.evicting = false;
+        cs.array.install(*cs.array.pickVictim(blk), blk);
+        cs.pinnedTx.insert(blk);
+        return true;
+      }
+      default: {
+        // Owned victim: serialize the eviction with the home.
+        cs.phase = Phase::WaitEvictAck;
+        Msg m;
+        m.type = MsgType::EvictReq;
+        m.src = cpu;
+        m.dst = homeOf(cs.victimBlk);
+        m.toMemory = true;
+        m.blk = cs.victimBlk;
+        m.requester = cpu;
+        send(m);
+        return false;
+      }
+    }
+}
+
+void
+ConcurrentProtocol::beginMissRequest(NodeId cpu, BlockId blk)
+{
+    CpuState &cs = cpus[cpu];
+    cs.phase = Phase::WaitHome;
+    Msg m;
+    m.type = cs.ref.isWrite ? MsgType::LoadOwnReq
+        : MsgType::LoadReq;
+    m.src = cpu;
+    m.dst = homeOf(blk);
+    m.toMemory = true;
+    m.blk = blk;
+    m.offset = params.geometry.offsetOf(cs.ref.addr);
+    m.requester = cpu;
+    send(m);
+}
+
+void
+ConcurrentProtocol::continueEviction(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    Entry *ve = findEntry(cpu, cs.victimBlk);
+    if (!ve) {
+        // The victim was invalidated while the eviction waited in
+        // the home's queue (an all-nack fallback elsewhere):
+        // nothing to hand over, just release the busy period.
+        Msg m;
+        m.type = MsgType::EvictDone;
+        m.src = cpu;
+        m.dst = homeOf(cs.victimBlk);
+        m.toMemory = true;
+        m.blk = cs.victimBlk;
+        m.flag = false;
+        send(m);
+        cs.evicting = false;
+        cs.phase = Phase::Idle;
+        startAccess(cpu);
+        return;
+    }
+
+    switch (ve->field.state) {
+      case State::OwnedExclDW:
+      case State::OwnedExclGR:
+        finishEviction(cpu, true, ve->field.modified);
+        break;
+      case State::OwnedNonExclDW:
+      case State::OwnedNonExclGR:
+        ++ctrs.handoffs;
+        cs.candidates = othersPresent(*ve, cpu);
+        cs.candIdx = 0;
+        cs.phase = Phase::WaitOffer;
+        sendNextOffer(cpu);
+        break;
+      default: {
+        // Lost ownership while the eviction was queued: the entry
+        // is now UnOwned/Invalid; release the busy and notify.
+        Msg pc;
+        pc.type = MsgType::PresentClear;
+        pc.src = cpu;
+        pc.dst = homeOf(cs.victimBlk);
+        pc.toMemory = true;
+        pc.blk = cs.victimBlk;
+        pc.requester = cpu;
+        send(pc);
+        cs.clearPending.insert(cs.victimBlk);
+        finishEviction(cpu, false, false);
+        break;
+      }
+    }
+}
+
+void
+ConcurrentProtocol::sendNextOffer(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    Entry *ve = findEntry(cpu, cs.victimBlk);
+    panic_if(!ve, "offer for a vanished victim");
+
+    if (cs.candIdx >= cs.candidates.size()) {
+        // Everyone declined: invalidate the remaining copies, then
+        // write back and clear the block store (terminal rule).
+        auto dests = othersPresent(*ve, cpu);
+        if (dests.empty()) {
+            finishEviction(cpu, true, ve->field.modified);
+            return;
+        }
+        ++ctrs.handoffFallbacks;
+        cs.ackFrom.clear();
+        for (NodeId d : dests)
+            cs.ackFrom.insert(d);
+        cs.pendingAcks = static_cast<unsigned>(dests.size());
+        cs.phase = Phase::WaitInvalAcks;
+        sendMulticastMsg(MsgType::Invalidate, cpu, dests, 0,
+                         cs.victimBlk, 0, 0, cpu);
+        return;
+    }
+
+    Msg m;
+    m.type = MsgType::OfferOwner;
+    m.src = cpu;
+    m.dst = cs.candidates[cs.candIdx];
+    m.blk = cs.victimBlk;
+    m.requester = cpu;
+    send(m);
+}
+
+void
+ConcurrentProtocol::finishEviction(NodeId cpu, bool clear_owner,
+                                   bool write_back)
+{
+    CpuState &cs = cpus[cpu];
+    Entry *ve = findEntry(cpu, cs.victimBlk);
+    panic_if(!ve, "finishing eviction without a victim");
+
+    Msg m;
+    m.type = MsgType::EvictDone;
+    m.src = cpu;
+    m.dst = homeOf(cs.victimBlk);
+    m.toMemory = true;
+    m.blk = cs.victimBlk;
+    m.flag = clear_owner;
+    if (write_back) {
+        m.data = ve->data;
+        ++ctrs.writeBacks;
+    }
+    send(m);
+
+    cs.array.evict(*ve);
+    cs.evicting = false;
+    cs.phase = Phase::Idle;
+    // Resume the original access from scratch.
+    startAccess(cpu);
+}
+
+// ---------------------------------------------------------------
+// Cache-side handlers
+// ---------------------------------------------------------------
+
+void
+ConcurrentProtocol::serveForward(const Msg &m)
+{
+    // LoadFwd / LoadOwnFwd / OwnFwd arriving at the current owner.
+    NodeId me = m.dst;
+    CpuState &cs = cpus[me];
+    NodeId r = m.requester;
+    Entry *e = findEntry(me, m.blk);
+
+    if (r == me) {
+        // The requester became owner while its request was queued
+        // (hand-off overtook it). Complete the transaction locally.
+        ++ctrs.selfForwards;
+        panic_if(!e || !cache::isOwned(e->field.state),
+                 "self-forward without ownership");
+        if (m.flag) {
+            Msg ub;
+            ub.type = MsgType::Unblock;
+            ub.src = me;
+            ub.dst = homeOf(m.blk);
+            ub.toMemory = true;
+            ub.blk = m.blk;
+            ub.requester = me;
+            ub.flag = false; // ownership already recorded
+            send(ub);
+        }
+        if (m.type == MsgType::LoadFwd) {
+            unsigned off = params.geometry.offsetOf(cs.ref.addr);
+            checkReadSample(cs.ref.addr, e->data[off]);
+            completeRef(me);
+        } else {
+            performOwnedWrite(me);
+        }
+        return;
+    }
+
+    panic_if(!e || !cache::isOwned(e->field.state),
+             "forward reached non-owner %u for block %llu", me,
+             static_cast<unsigned long long>(m.blk));
+    Mode mode = cache::modeOf(e->field.state);
+
+    if (m.type == MsgType::LoadFwd) {
+        e->field.present.set(r);
+        if (mode == Mode::DistributedWrite) {
+            e->field.state = State::OwnedNonExclDW;
+            Msg reply;
+            reply.type = MsgType::DataBlock;
+            reply.src = me;
+            reply.dst = r;
+            reply.blk = m.blk;
+            reply.data = e->data;
+            reply.flag = m.flag;
+            reply.field.state = State::UnOwned;
+            send(reply);
+        } else {
+            e->field.state = State::OwnedNonExclGR;
+            Msg reply;
+            reply.type = MsgType::Datum;
+            reply.src = me;
+            reply.dst = r;
+            reply.blk = m.blk;
+            reply.offset = m.offset;
+            reply.value = e->data[m.offset];
+            reply.flag = m.flag;
+            send(reply);
+        }
+        // The served value is this read's linearization point.
+        checkReadSample(params.geometry.baseOf(m.blk) + m.offset,
+                        e->data[m.offset]);
+        return;
+    }
+
+    // Ownership transfer (LoadOwnFwd or OwnFwd).
+    ++ctrs.ownershipTransfers;
+    // An upgrade (OwnFwd) from a cache absent from the present
+    // vector lost its copy while the request was queued (an
+    // invalidation under a previous busy period); ship the data
+    // too. Evaluate before registering the requester.
+    bool requester_has_copy = e->field.present.test(r);
+    e->field.present.set(r);
+
+    cache::StateField field = e->field;
+    field.owner = invalidNode;
+    bool send_copy = (m.type == MsgType::LoadOwnFwd) ||
+        mode == Mode::GlobalRead || !requester_has_copy;
+    field.state = (mode == Mode::DistributedWrite)
+        ? State::OwnedNonExclDW : State::OwnedNonExclGR;
+
+    Msg reply;
+    reply.type = send_copy ? MsgType::StateCopyXfer
+        : MsgType::StateXfer;
+    reply.src = me;
+    reply.dst = r;
+    reply.blk = m.blk;
+    reply.requester = r; // marks this as the requester's own reply
+    reply.field = field;
+    reply.flag = m.flag;
+    if (send_copy)
+        reply.data = e->data;
+    send(reply);
+
+    if (mode == Mode::DistributedWrite) {
+        e->field.state = State::UnOwned;
+        e->field.modified = false;
+        e->field.present.clear();
+    } else {
+        // Announce the new owner to the other pointer holders.
+        std::vector<NodeId> dests;
+        for (auto i : field.present.setBits())
+            if (i != r && i != me)
+                dests.push_back(i);
+        sendMulticastMsg(MsgType::OwnerAnnounce, me, dests,
+                         params.sizes.ownerIdPayload(numCaches()),
+                         m.blk, 0, r, r);
+        e->field.state = State::Invalid;
+        e->field.owner = r;
+        e->field.modified = false;
+        e->field.present.clear();
+    }
+}
+
+void
+ConcurrentProtocol::handleCacheMsg(const Msg &m)
+{
+    NodeId me = m.dst;
+    CpuState &cs = cpus[me];
+    Entry *e = findEntry(me, m.blk);
+
+    switch (m.type) {
+      case MsgType::LoadFwd:
+      case MsgType::LoadOwnFwd:
+      case MsgType::OwnFwd:
+        serveForward(m);
+        return;
+
+      case MsgType::LoadReq: {
+        // Direct pointer-bypass read.
+        if (e && cache::isOwned(e->field.state)) {
+            Mode mode = cache::modeOf(e->field.state);
+            e->field.present.set(m.requester);
+            if (mode == Mode::GlobalRead) {
+                e->field.state = State::OwnedNonExclGR;
+                Msg reply;
+                reply.type = MsgType::Datum;
+                reply.src = me;
+                reply.dst = m.requester;
+                reply.blk = m.blk;
+                reply.offset = m.offset;
+                reply.value = e->data[m.offset];
+                send(reply);
+            } else {
+                e->field.state = State::OwnedNonExclDW;
+                Msg reply;
+                reply.type = MsgType::DataBlock;
+                reply.src = me;
+                reply.dst = m.requester;
+                reply.blk = m.blk;
+                reply.data = e->data;
+                reply.field.state = State::UnOwned;
+                send(reply);
+            }
+            checkReadSample(params.geometry.baseOf(m.blk) +
+                            m.offset, e->data[m.offset]);
+        } else {
+            Msg nack;
+            nack.type = MsgType::NackNotOwner;
+            nack.src = me;
+            nack.dst = m.requester;
+            nack.blk = m.blk;
+            send(nack);
+        }
+        return;
+      }
+
+      case MsgType::NackNotOwner: {
+        // Our pointer bypass raced with a transfer: fall back to
+        // the home, re-running the access (the entry may be gone).
+        ++ctrs.pointerNacks;
+        panic_if(cs.phase != Phase::WaitPointer,
+                 "unexpected pointer nack");
+        ++cs.pointerRetries;
+        cs.pinnedTx.erase(m.blk);
+        cs.phase = Phase::Idle;
+        startAccess(me);
+        return;
+      }
+
+      case MsgType::Datum: {
+        // The value was checked at its sampling point (the owner).
+        if (cs.phase == Phase::WaitHome) {
+            panic_if(!e, "datum reply without an entry");
+            e->field.state = State::Invalid;
+            e->field.owner = m.src;
+            if (m.flag) {
+                Msg ub;
+                ub.type = MsgType::Unblock;
+                ub.src = me;
+                ub.dst = homeOf(m.blk);
+                ub.toMemory = true;
+                ub.blk = m.blk;
+                ub.flag = false;
+                send(ub);
+            }
+        } else {
+            panic_if(cs.phase != Phase::WaitPointer,
+                     "datum in phase %d",
+                     static_cast<int>(cs.phase));
+            if (e && e->field.owner == invalidNode) {
+                // Our pointer entry was invalidated (and replaced
+                // by a placeholder) while the request was in
+                // flight: the owner registration is gone, so drop
+                // the stale hint instead of resurrecting it.
+                cs.array.evict(*e);
+            } else if (e) {
+                e->field.owner = m.src;
+            }
+        }
+        completeRef(me);
+        return;
+      }
+
+      case MsgType::DataBlock: {
+        panic_if(!e, "data reply without a pre-allocated entry");
+        e->data = m.data;
+        e->field.state = m.field.state;
+        if (cache::isOwned(e->field.state)) {
+            // From memory: we are the (exclusive) owner now.
+            e->field.present.clear();
+            e->field.present.set(me);
+            e->field.modified = false;
+        }
+        e->field.owner = invalidNode;
+        if (m.flag) {
+            Msg ub;
+            ub.type = MsgType::Unblock;
+            ub.src = me;
+            ub.dst = homeOf(m.blk);
+            ub.toMemory = true;
+            ub.blk = m.blk;
+            ub.flag = false;
+            send(ub);
+        }
+        if (cs.ref.isWrite) {
+            performOwnedWrite(me);
+        } else {
+            // The value was checked at its sampling point (owner
+            // or home); the reply payload is authoritative.
+            completeRef(me);
+        }
+        return;
+      }
+
+      case MsgType::StateXfer:
+      case MsgType::StateCopyXfer: {
+        panic_if(!e, "state transfer without an entry");
+        panic_if(m.type == MsgType::StateXfer &&
+                 e->field.state != State::UnOwned,
+                 "data-less state transfer onto a %s entry",
+                 cache::stateName(e->field.state));
+        e->field = m.field;
+        e->field.owner = invalidNode;
+        panic_if(!e->field.present.test(me),
+                 "transferred present vector misses the new owner");
+        if (m.type == MsgType::StateCopyXfer)
+            e->data = m.data;
+        maybeExclusive(*e, me);
+        cs.array.touch(*e);
+
+        if (m.flag) {
+            Msg ub;
+            ub.type = MsgType::Unblock;
+            ub.src = me;
+            ub.dst = homeOf(m.blk);
+            ub.toMemory = true;
+            ub.blk = m.blk;
+            ub.requester = me;
+            ub.flag = true; // record the ownership change
+            send(ub);
+        }
+        // Continue our own transaction only if this transfer is
+        // the reply to it (requester tag): an ownership hand-off
+        // can land while our upgrade request is still queued at
+        // the home, and that request's eventual (self-)forward is
+        // the transaction's real completion point.
+        bool mine = cs.active && m.requester == me &&
+            params.geometry.blockOf(cs.ref.addr) == m.blk &&
+            (cs.phase == Phase::WaitOwnXfer ||
+             cs.phase == Phase::WaitHome);
+        if (mine) {
+            panic_if(!cs.ref.isWrite,
+                     "read transaction got a state transfer");
+            performOwnedWrite(me);
+        } else {
+            // Accepted hand-off: unpin the offer.
+            cs.pinnedOffer.erase(m.blk);
+        }
+        return;
+      }
+
+      case MsgType::DwUpdate: {
+        if (e && e->field.state == State::UnOwned)
+            e->data[m.offset] = m.value;
+        Msg ack;
+        ack.type = MsgType::DwAck;
+        ack.src = me;
+        ack.dst = m.src;
+        ack.blk = m.blk;
+        send(ack);
+        return;
+      }
+
+      case MsgType::DwAck: {
+        if (cs.phase != Phase::WaitDwAcks ||
+            !cs.ackFrom.erase(m.src)) {
+            return; // overshoot delivery ack: ignore
+        }
+        if (--cs.pendingAcks == 0)
+            completeRef(me);
+        return;
+      }
+
+      case MsgType::Invalidate: {
+        if (e) {
+            bool pinned = cs.isPinned(m.blk);
+            cs.array.evict(*e);
+            if (pinned) {
+                // Keep a placeholder for the in-flight reply.
+                Entry *fresh = cs.array.pickVictim(m.blk);
+                cs.array.install(*fresh, m.blk);
+            }
+        }
+        Msg ack;
+        ack.type = MsgType::InvalAck;
+        ack.src = me;
+        ack.dst = m.src;
+        ack.blk = m.blk;
+        send(ack);
+        return;
+      }
+
+      case MsgType::InvalAck: {
+        if (cs.phase != Phase::WaitInvalAcks ||
+            !cs.ackFrom.erase(m.src)) {
+            return;
+        }
+        if (--cs.pendingAcks == 0) {
+            Entry *ve = findEntry(me, cs.victimBlk);
+            finishEviction(me, true,
+                           ve && ve->field.modified);
+        }
+        return;
+      }
+
+      case MsgType::OwnerAnnounce: {
+        if (e && e->field.state == State::Invalid)
+            e->field.owner = static_cast<NodeId>(m.value);
+        return;
+      }
+
+      case MsgType::PresentClear: {
+        // Forwarded from the home: clear the leaver's flag and
+        // confirm to the leaver so it may re-acquire the block.
+        if (e && cache::isOwned(e->field.state)) {
+            e->field.present.reset(m.requester);
+            maybeExclusive(*e, me);
+            Msg ack;
+            ack.type = MsgType::PresentClearAck;
+            ack.src = me;
+            ack.dst = m.requester;
+            ack.blk = m.blk;
+            send(ack);
+        } else {
+            Msg nack;
+            nack.type = MsgType::NackNotOwner;
+            nack.src = me;
+            nack.dst = homeOf(m.blk);
+            nack.toMemory = true;
+            nack.blk = m.blk;
+            nack.requester = m.requester;
+            send(nack);
+        }
+        return;
+      }
+
+      case MsgType::PresentClearAck: {
+        cs.clearPending.erase(m.blk);
+        return;
+      }
+
+      case MsgType::OfferOwner: {
+        bool acceptable = e && !cs.isPinned(m.blk) &&
+            (e->field.state == State::UnOwned ||
+             (e->field.state == State::Invalid &&
+              e->field.owner != invalidNode));
+        Msg reply;
+        reply.type = acceptable ? MsgType::OfferAck
+            : MsgType::OfferNack;
+        reply.src = me;
+        reply.dst = m.src;
+        reply.blk = m.blk;
+        if (acceptable)
+            cs.pinnedOffer.insert(m.blk); // reserved for transfer
+        send(reply);
+        return;
+      }
+
+      case MsgType::OfferAck: {
+        panic_if(cs.phase != Phase::WaitOffer, "stray offer ack");
+        Entry *ve = findEntry(me, cs.victimBlk);
+        panic_if(!ve, "offer ack without a victim");
+        ++ctrs.ownershipTransfers;
+
+        Mode mode = cache::modeOf(ve->field.state);
+        cache::StateField field = ve->field;
+        field.present.reset(me); // we are leaving
+        field.owner = invalidNode;
+        field.state = (mode == Mode::DistributedWrite)
+            ? State::OwnedNonExclDW : State::OwnedNonExclGR;
+
+        if (mode == Mode::GlobalRead) {
+            std::vector<NodeId> dests;
+            for (auto i : field.present.setBits())
+                if (i != m.src)
+                    dests.push_back(i);
+            sendMulticastMsg(
+                MsgType::OwnerAnnounce, me, dests,
+                params.sizes.ownerIdPayload(numCaches()),
+                cs.victimBlk, 0, m.src, m.src);
+        }
+
+        Msg x;
+        x.type = (mode == Mode::DistributedWrite)
+            ? MsgType::StateXfer : MsgType::StateCopyXfer;
+        x.src = me;
+        x.dst = m.src;
+        x.blk = cs.victimBlk;
+        x.requester = invalidNode; // hand-off, not a request reply
+        x.field = field;
+        x.flag = true; // eviction busy released by new owner
+        if (mode == Mode::GlobalRead)
+            x.data = ve->data;
+        send(x);
+
+        cs.array.evict(*ve);
+        cs.evicting = false;
+        cs.phase = Phase::Idle;
+        startAccess(me);
+        return;
+      }
+
+      case MsgType::OfferNack: {
+        panic_if(cs.phase != Phase::WaitOffer, "stray offer nack");
+        ++ctrs.handoffNacks;
+        ++cs.candIdx;
+        sendNextOffer(me);
+        return;
+      }
+
+      case MsgType::EvictAck:
+        panic_if(cs.phase != Phase::WaitEvictAck,
+                 "stray evict ack");
+        continueEviction(me);
+        return;
+
+      default:
+        panic("cache %u got unexpected message %s", me,
+              msgTypeName(m.type));
+    }
+}
+
+// ---------------------------------------------------------------
+// Memory side
+// ---------------------------------------------------------------
+
+void
+ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
+{
+    BlockId blk = m.blk;
+    if (h.busy.count(blk)) {
+        h.waiting[blk].push_back(m);
+        ++ctrs.homeQueued;
+        return;
+    }
+
+    if (m.type == MsgType::EvictReq) {
+        h.busy.insert(blk);
+        Msg ack;
+        ack.type = MsgType::EvictAck;
+        ack.src = h.mem.port();
+        ack.dst = m.src;
+        ack.blk = blk;
+        send(ack);
+        return;
+    }
+
+    NodeId owner = h.mem.blockStore().owner(blk);
+    NodeId r = m.requester;
+
+    if (owner == invalidNode) {
+        // No cached copy anywhere: serve from memory; the
+        // requester becomes the (exclusive) owner.
+        h.mem.blockStore().setOwner(blk, r);
+        if (m.type == MsgType::LoadReq) {
+            checkReadSample(params.geometry.baseOf(blk) + m.offset,
+                            h.mem.readWord(blk, m.offset));
+        }
+        Msg reply;
+        reply.type = MsgType::DataBlock;
+        reply.src = h.mem.port();
+        reply.dst = r;
+        reply.blk = blk;
+        reply.data = h.mem.readBlock(blk);
+        reply.field.state = cache::ownedState(params.defaultMode,
+                                              true);
+        reply.flag = false; // no busy held
+        send(reply);
+        return;
+    }
+
+    // Forward to the owner under this block's busy period.
+    h.busy.insert(blk);
+    Msg fwd;
+    switch (m.type) {
+      case MsgType::LoadReq:
+        fwd.type = MsgType::LoadFwd;
+        break;
+      case MsgType::LoadOwnReq:
+        fwd.type = MsgType::LoadOwnFwd;
+        break;
+      case MsgType::OwnReq:
+        fwd.type = MsgType::OwnFwd;
+        break;
+      default:
+        panic("unexpected home request %s", msgTypeName(m.type));
+    }
+    fwd.src = h.mem.port();
+    fwd.dst = owner;
+    fwd.blk = blk;
+    fwd.offset = m.offset;
+    fwd.requester = r;
+    fwd.flag = true; // busy held until the requester unblocks
+    send(fwd);
+}
+
+void
+ConcurrentProtocol::drainHomeQueue(HomeState &h, BlockId blk)
+{
+    auto it = h.waiting.find(blk);
+    while (it != h.waiting.end() && !it->second.empty() &&
+           !h.busy.count(blk)) {
+        Msg m = it->second.front();
+        it->second.pop_front();
+        processHomeRequest(h, m);
+        it = h.waiting.find(blk);
+    }
+    if (it != h.waiting.end() && it->second.empty())
+        h.waiting.erase(it);
+}
+
+void
+ConcurrentProtocol::handleMemMsg(const Msg &m)
+{
+    HomeState &h = homes[m.dst];
+    BlockId blk = m.blk;
+
+    switch (m.type) {
+      case MsgType::LoadReq:
+      case MsgType::LoadOwnReq:
+      case MsgType::OwnReq:
+      case MsgType::EvictReq:
+        processHomeRequest(h, m);
+        return;
+
+      case MsgType::Unblock:
+        if (m.flag)
+            h.mem.blockStore().setOwner(blk, m.requester);
+        h.busy.erase(blk);
+        drainHomeQueue(h, blk);
+        return;
+
+      case MsgType::EvictDone:
+        if (!m.data.empty())
+            h.mem.writeBlock(blk, m.data);
+        if (m.flag)
+            h.mem.blockStore().clear(blk);
+        h.busy.erase(blk);
+        drainHomeQueue(h, blk);
+        return;
+
+      case MsgType::PresentClear: {
+        NodeId owner = h.mem.blockStore().owner(blk);
+        if (owner == invalidNode) {
+            // Block fully evicted meanwhile: nothing to clear, but
+            // the leaver still waits for its acknowledgement.
+            Msg ack;
+            ack.type = MsgType::PresentClearAck;
+            ack.src = h.mem.port();
+            ack.dst = m.requester;
+            ack.blk = blk;
+            send(ack);
+            return;
+        }
+        Msg fwd = m;
+        fwd.src = h.mem.port();
+        fwd.dst = owner;
+        fwd.toMemory = false;
+        send(fwd);
+        return;
+      }
+
+      case MsgType::NackNotOwner: {
+        // A PresentClear forward missed (ownership moved): retry
+        // against the current owner after a short delay.
+        ++ctrs.presentClearRetries;
+        Msg retry;
+        retry.type = MsgType::PresentClear;
+        retry.src = m.dst;
+        retry.dst = m.dst;
+        retry.toMemory = true;
+        retry.blk = blk;
+        retry.requester = m.requester;
+        eq.scheduleIn([this, retry] { deliver(retry); }, 20);
+        return;
+      }
+
+      default:
+        panic("memory %u got unexpected message %s", m.dst,
+              msgTypeName(m.type));
+    }
+}
+
+// ---------------------------------------------------------------
+// Linearizability monitor
+// ---------------------------------------------------------------
+
+void
+ConcurrentProtocol::monitorWritePending(Addr a, std::uint64_t v)
+{
+    pendingWrites[a].insert(v);
+}
+
+void
+ConcurrentProtocol::monitorWriteComplete(Addr a, std::uint64_t v)
+{
+    lastCompleted[a] = v;
+    auto it = pendingWrites.find(a);
+    if (it != pendingWrites.end()) {
+        auto vi = it->second.find(v);
+        if (vi != it->second.end())
+            it->second.erase(vi);
+        if (it->second.empty())
+            pendingWrites.erase(it);
+    }
+}
+
+void
+ConcurrentProtocol::checkReadSample(Addr a, std::uint64_t v)
+{
+    auto lc = lastCompleted.find(a);
+    std::uint64_t completed = lc == lastCompleted.end()
+        ? 0 : lc->second;
+    if (v == completed)
+        return;
+    auto it = pendingWrites.find(a);
+    if (it != pendingWrites.end() &&
+        it->second.count(v))
+        return;
+    ++_valueErrors;
+    warn("concurrent: read @%llu sampled %llu (completed %llu, "
+         "no matching pending write)",
+         static_cast<unsigned long long>(a),
+         static_cast<unsigned long long>(v),
+         static_cast<unsigned long long>(completed));
+}
+
+// ---------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------
+
+ConcurrentRunResult
+ConcurrentProtocol::run(workload::ReferenceStream &stream)
+{
+    workload::MemRef ref;
+    std::uint64_t total = 0;
+    while (stream.next(ref)) {
+        panic_if(ref.cpu >= cpus.size(), "cpu out of range");
+        cpus[ref.cpu].queue.push_back(ref);
+        ++total;
+    }
+    refsOutstanding = total;
+
+    Bits start_bits = net.linkStats().totalBits();
+    for (NodeId c = 0; c < cpus.size(); ++c)
+        issueNext(c);
+
+    eq.run();
+
+    panic_if(refsOutstanding != 0,
+             "deadlock: %llu references never completed",
+             static_cast<unsigned long long>(refsOutstanding));
+
+    ConcurrentRunResult res;
+    res.refs = total;
+    res.makespan = eq.curTick();
+    res.networkBits = net.linkStats().totalBits() - start_bits;
+    res.valueErrors = _valueErrors;
+    res.avgReadLatency = readsDone
+        ? readLatSum / static_cast<double>(readsDone) : 0;
+    res.avgWriteLatency = writesDone
+        ? writeLatSum / static_cast<double>(writesDone) : 0;
+    return res;
+}
+
+} // namespace mscp::proto

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Message-level concurrent engine for the two-mode protocol.
+ *
+ * Unlike the atomic engine (stenstrom.hh), transactions here are
+ * NOT executed in one step: every protocol action is a message
+ * delivered through the timed omega network, transactions from
+ * different processors genuinely overlap, and the races the paper
+ * does not discuss are resolved with standard directory-protocol
+ * machinery (documented in DESIGN.md):
+ *
+ *  - the home memory module serializes transactions per block with
+ *    a busy bit and a pending queue; requesters release it with an
+ *    Unblock message once ownership/data has settled;
+ *  - the OWNER-pointer bypass keeps its latency advantage but can
+ *    race with an ownership transfer: a direct request reaching a
+ *    non-owner is NACKed and retried through the home;
+ *  - distributed writes collect per-copy acknowledgements before
+ *    the write completes (required for coherent visibility on a
+ *    multistage network; a bus gets this for free);
+ *  - an owner eviction is serialized with an EvictReq/EvictAck
+ *    handshake so in-flight forwards never find a half-evicted
+ *    owner, and the ownership hand-off transfers state directly
+ *    under that eviction's busy period (the paper's nested
+ *    re-request would deadlock against the home's serialization);
+ *  - entries are pinned while a transaction or an accepted
+ *    ownership offer is outstanding on them, so victim selection
+ *    never rips an in-flight line out.
+ *
+ * Each processor has one outstanding reference (blocking, in-order)
+ * - the paper's implicit processor model. Reads are checked against
+ * a linearizability monitor at their sampling point: a read must
+ * return the latest completed write's value or the value of a
+ * still-pending write to that address.
+ */
+
+#ifndef MSCP_PROTO_CONCURRENT_HH
+#define MSCP_PROTO_CONCURRENT_HH
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "mem/memory_module.hh"
+#include "net/timed_network.hh"
+#include "proto/message.hh"
+#include "sim/eventq.hh"
+#include "workload/ref_stream.hh"
+
+namespace mscp::proto
+{
+
+/** Counters specific to the concurrent engine. */
+struct ConcurrentCounters
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t writeHits = 0;      ///< writable without messages
+    std::uint64_t pointerReads = 0;   ///< direct owner bypass used
+    std::uint64_t pointerNacks = 0;   ///< bypass raced, via home
+    std::uint64_t homeQueued = 0;     ///< requests queued on busy
+    std::uint64_t ownershipTransfers = 0;
+    std::uint64_t dwUpdates = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t handoffNacks = 0;
+    std::uint64_t handoffFallbacks = 0;
+    std::uint64_t writeBacks = 0;
+    std::uint64_t presentClearRetries = 0;
+    std::uint64_t selfForwards = 0;   ///< forward met requester==owner
+};
+
+/** Configuration. */
+struct ConcurrentParams
+{
+    cache::Geometry geometry;
+    net::Scheme multicastScheme = net::Scheme::Combined;
+    cache::Mode defaultMode = cache::Mode::GlobalRead;
+    MessageSizes sizes;
+    Bits linkWidthBits = 16;
+    Tick hopLatency = 1;
+    Tick hitLatency = 1;
+    Tick thinkTime = 0;
+};
+
+/** Result of a concurrent run. */
+struct ConcurrentRunResult
+{
+    std::uint64_t refs = 0;
+    Tick makespan = 0;
+    Bits networkBits = 0;
+    std::uint64_t valueErrors = 0;
+    double avgReadLatency = 0;
+    double avgWriteLatency = 0;
+};
+
+/** The event-driven engine. */
+class ConcurrentProtocol
+{
+  public:
+    ConcurrentProtocol(net::OmegaNetwork &network,
+                       ConcurrentParams params);
+    ~ConcurrentProtocol();
+
+    /**
+     * Run a reference stream: per-cpu program order, one
+     * outstanding reference per cpu, full message-level overlap
+     * across cpus.
+     */
+    ConcurrentRunResult run(workload::ReferenceStream &stream);
+
+    const ConcurrentCounters &counters() const { return ctrs; }
+    const MessageCounters &messageCounters() const { return msgs; }
+    std::uint64_t valueErrors() const { return _valueErrors; }
+
+    /** @{ introspection (quiescent state only) */
+    unsigned numCaches() const
+    {
+        return static_cast<unsigned>(cpus.size());
+    }
+    const cache::CacheArray &cacheArray(NodeId c) const
+    {
+        return cpus[c].array;
+    }
+    const mem::MemoryModule &memoryModule(unsigned i) const
+    {
+        return homes[i].mem;
+    }
+    NodeId
+    homeOf(BlockId blk) const
+    {
+        return static_cast<NodeId>(blk % homes.size());
+    }
+    /** @} */
+
+  private:
+    using Entry = cache::Entry;
+    using State = cache::State;
+    using Mode = cache::Mode;
+
+    /** A message in flight. */
+    struct Msg
+    {
+        MsgType type = MsgType::LoadReq;
+        NodeId src = 0;
+        NodeId dst = 0;
+        bool toMemory = false;   ///< handler: memory vs cache side
+        BlockId blk = 0;
+        NodeId requester = 0;    ///< original requester on forwards
+        unsigned offset = 0;
+        std::uint64_t value = 0;
+        bool flag = false;       ///< multi-purpose (e.g. modified)
+        cache::StateField field; ///< state transfers
+        std::vector<std::uint64_t> data; ///< block payloads
+    };
+
+    /** Phases of a processor's outstanding transaction. */
+    enum class Phase : std::uint8_t
+    {
+        Idle,
+        WaitHome,       ///< miss sent to the home
+        WaitPointer,    ///< direct owner read outstanding
+        WaitOwnXfer,    ///< upgrade: waiting for the state field
+        WaitDwAcks,     ///< distributed write: collecting acks
+        WaitEvictAck,   ///< eviction handshake
+        WaitOffer,      ///< hand-off offer outstanding
+        WaitInvalAcks,  ///< all-nack fallback invalidations
+    };
+
+    /** Per-cpu controller state. */
+    struct CpuState
+    {
+        explicit CpuState(const cache::Geometry &g, unsigned n)
+            : array(g, n)
+        {}
+
+        cache::CacheArray array;
+        std::deque<workload::MemRef> queue;
+        bool active = false;
+        workload::MemRef ref;
+        Phase phase = Phase::Idle;
+        Tick issueTick = 0;
+        unsigned pendingAcks = 0;
+        unsigned pointerRetries = 0;
+        /** Caches expected to acknowledge (updates/invalidates). */
+        std::set<NodeId> ackFrom;
+        /** Eviction context. */
+        bool evicting = false;
+        BlockId victimBlk = 0;
+        std::vector<NodeId> candidates;
+        std::size_t candIdx = 0;
+        /** Block pinned by the cpu's own transaction. */
+        std::set<BlockId> pinnedTx;
+        /** Blocks pinned by accepted ownership offers. */
+        std::set<BlockId> pinnedOffer;
+        /** Blocks with an unacknowledged PresentClear in flight;
+         *  reacquisition is deferred until the ack arrives. */
+        std::set<BlockId> clearPending;
+
+        bool
+        isPinned(BlockId b) const
+        {
+            return pinnedTx.count(b) || pinnedOffer.count(b);
+        }
+    };
+
+    /** Per-home-module state. */
+    struct HomeState
+    {
+        explicit HomeState(NodeId port, unsigned block_words)
+            : mem(port, block_words)
+        {}
+
+        mem::MemoryModule mem;
+        std::set<BlockId> busy;
+        std::map<BlockId, std::deque<Msg>> waiting;
+    };
+
+    /** @{ message plumbing */
+    void send(Msg m);
+    void sendMulticastMsg(MsgType t, NodeId src,
+                          const std::vector<NodeId> &dests,
+                          Bits payload, BlockId blk, unsigned offset,
+                          std::uint64_t value, NodeId aux_owner);
+    void deliver(const Msg &m);
+    Bits payloadBits(const Msg &m) const;
+    /** @} */
+
+    /** @{ cpu-side transaction steps */
+    void issueNext(NodeId cpu);
+    void startAccess(NodeId cpu);
+    void performOwnedWrite(NodeId cpu);
+    void completeRef(NodeId cpu);
+    void beginMissRequest(NodeId cpu, BlockId blk);
+    bool allocateForMiss(NodeId cpu, BlockId blk);
+    void continueEviction(NodeId cpu);
+    void sendNextOffer(NodeId cpu);
+    void finishEviction(NodeId cpu, bool clear_owner,
+                        bool write_back);
+    /** @} */
+
+    /** @{ cache-side message handlers */
+    void handleCacheMsg(const Msg &m);
+    void serveForward(const Msg &m);
+    /** @} */
+
+    /** @{ memory-side message handlers */
+    void handleMemMsg(const Msg &m);
+    void processHomeRequest(HomeState &h, const Msg &m);
+    void drainHomeQueue(HomeState &h, BlockId blk);
+    /** @} */
+
+    /** @{ linearizability monitor */
+    void monitorWritePending(Addr a, std::uint64_t v);
+    void monitorWriteComplete(Addr a, std::uint64_t v);
+    void checkReadSample(Addr a, std::uint64_t v);
+    /** @} */
+
+    Entry *findEntry(NodeId cpu, BlockId blk);
+    std::vector<NodeId> othersPresent(const Entry &e,
+                                      NodeId self) const;
+    void maybeExclusive(Entry &e, NodeId self);
+
+    ConcurrentParams params;
+    ConcurrentCounters ctrs;
+    MessageCounters msgs;
+    net::OmegaNetwork &net;
+    EventQueue eq;
+    net::TimedNetwork timedNet;
+
+    std::vector<CpuState> cpus;
+    std::vector<HomeState> homes;
+
+    /** Linearizability monitor state. */
+    std::map<Addr, std::uint64_t> lastCompleted;
+    std::map<Addr, std::multiset<std::uint64_t>> pendingWrites;
+    std::uint64_t _valueErrors = 0;
+
+    /** Latency accounting. */
+    double readLatSum = 0;
+    double writeLatSum = 0;
+    std::uint64_t readsDone = 0;
+    std::uint64_t writesDone = 0;
+    std::uint64_t refsOutstanding = 0;
+};
+
+} // namespace mscp::proto
+
+#endif // MSCP_PROTO_CONCURRENT_HH

@@ -1,0 +1,71 @@
+#include "message.hh"
+
+namespace mscp::proto
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::LoadReq: return "LoadReq";
+      case MsgType::LoadFwd: return "LoadFwd";
+      case MsgType::LoadOwnReq: return "LoadOwnReq";
+      case MsgType::LoadOwnFwd: return "LoadOwnFwd";
+      case MsgType::OwnReq: return "OwnReq";
+      case MsgType::OwnFwd: return "OwnFwd";
+      case MsgType::DataBlock: return "DataBlock";
+      case MsgType::Datum: return "Datum";
+      case MsgType::StateXfer: return "StateXfer";
+      case MsgType::StateCopyXfer: return "StateCopyXfer";
+      case MsgType::DwUpdate: return "DwUpdate";
+      case MsgType::Invalidate: return "Invalidate";
+      case MsgType::OwnerAnnounce: return "OwnerAnnounce";
+      case MsgType::DropPointer: return "DropPointer";
+      case MsgType::PresentClear: return "PresentClear";
+      case MsgType::OfferOwner: return "OfferOwner";
+      case MsgType::OfferAck: return "OfferAck";
+      case MsgType::OfferNack: return "OfferNack";
+      case MsgType::WriteBack: return "WriteBack";
+      case MsgType::BsClear: return "BsClear";
+      case MsgType::MemRead: return "MemRead";
+      case MsgType::MemReadReply: return "MemReadReply";
+      case MsgType::MemWrite: return "MemWrite";
+      case MsgType::DwAck: return "DwAck";
+      case MsgType::InvalAck: return "InvalAck";
+      case MsgType::Unblock: return "Unblock";
+      case MsgType::NackNotOwner: return "NackNotOwner";
+      case MsgType::EvictReq: return "EvictReq";
+      case MsgType::EvictAck: return "EvictAck";
+      case MsgType::EvictDone: return "EvictDone";
+      case MsgType::PresentClearAck: return "PresentClearAck";
+      case MsgType::NumTypes: break;
+    }
+    return "unknown";
+}
+
+std::uint64_t
+MessageCounters::totalCount() const
+{
+    std::uint64_t t = 0;
+    for (auto c : count)
+        t += c;
+    return t;
+}
+
+Bits
+MessageCounters::totalBits() const
+{
+    Bits t = 0;
+    for (auto b : bits)
+        t += b;
+    return t;
+}
+
+void
+MessageCounters::reset()
+{
+    count.fill(0);
+    bits.fill(0);
+}
+
+} // namespace mscp::proto

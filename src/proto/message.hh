@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Protocol message taxonomy and wire-size model.
+ *
+ * The paper treats the message size M as a free parameter of the
+ * cost analysis; the engines make it concrete: every protocol action
+ * sends typed messages whose payload sizes derive from a small
+ * configurable size model, and every message is routed through the
+ * simulated omega network so the link-bit statistics implement
+ * eq. 1 exactly.
+ */
+
+#ifndef MSCP_PROTO_MESSAGE_HH
+#define MSCP_PROTO_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mscp::proto
+{
+
+/** Every message kind any of the engines sends. */
+enum class MsgType : std::uint8_t
+{
+    LoadReq,        ///< cache -> memory: read-miss load request
+    LoadFwd,        ///< memory -> owner: forwarded load request
+    LoadOwnReq,     ///< cache -> memory: write-miss load w/ ownership
+    LoadOwnFwd,     ///< memory -> owner: forwarded load w/ ownership
+    OwnReq,         ///< cache -> memory: ownership request (UnOwned)
+    OwnFwd,         ///< memory -> owner: forwarded ownership request
+    DataBlock,      ///< whole-block data reply
+    Datum,          ///< single-word reply (global-read mode)
+    StateXfer,      ///< state field to the new owner
+    StateCopyXfer,  ///< state field + block copy to the new owner
+    DwUpdate,       ///< distributed-write update multicast
+    Invalidate,     ///< invalidation multicast
+    OwnerAnnounce,  ///< new-owner id to invalid-copy holders
+    DropPointer,    ///< GR->DW switch: discard OWNER pointers
+    PresentClear,   ///< replaced copy asks owner to clear its P bit
+    OfferOwner,     ///< evicting owner offers ownership
+    OfferAck,       ///< offer accepted
+    OfferNack,      ///< offer declined (copy already replaced)
+    WriteBack,      ///< modified block written back to memory
+    BsClear,        ///< exclusive owner eviction: clear block store
+    MemRead,        ///< no-cache baseline read request
+    MemReadReply,   ///< no-cache baseline read reply
+    MemWrite,       ///< no-cache / write-through word write
+    DwAck,          ///< distributed-write update acknowledgement
+    InvalAck,       ///< invalidation acknowledgement
+    Unblock,        ///< requester releases the home's busy state
+    NackNotOwner,   ///< direct request reached a non-owner
+    EvictReq,       ///< owner asks the home to serialize an eviction
+    EvictAck,       ///< home granted the eviction
+    EvictDone,      ///< eviction finished (may carry a write-back)
+    PresentClearAck,///< present-flag clear confirmed to the leaver
+    NumTypes,
+};
+
+/** Printable message-type name. */
+const char *msgTypeName(MsgType t);
+
+/** Wire-size model shared by all engines. */
+struct MessageSizes
+{
+    Bits addrBits = 32; ///< block/word address field
+    Bits typeBits = 8;  ///< message-type field
+    Bits wordBits = 32; ///< one datum
+
+    /** Header of every message. */
+    Bits control() const { return addrBits + typeBits; }
+
+    /** Payload of a full block of @p block_words words. */
+    Bits
+    blockPayload(unsigned block_words) const
+    {
+        return Bits{block_words} * wordBits;
+    }
+
+    /** Payload of a transferred state field for N caches. */
+    Bits
+    statePayload(unsigned num_caches) const
+    {
+        return 4 + num_caches + log2Exact(num_caches);
+    }
+
+    /** Owner-identification payload. */
+    Bits
+    ownerIdPayload(unsigned num_caches) const
+    {
+        return log2Exact(num_caches);
+    }
+};
+
+/** Per-message-type counters. */
+struct MessageCounters
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(
+        MsgType::NumTypes)> count{};
+    std::array<Bits, static_cast<std::size_t>(
+        MsgType::NumTypes)> bits{};
+
+    void
+    record(MsgType t, Bits b)
+    {
+        count[static_cast<std::size_t>(t)] += 1;
+        bits[static_cast<std::size_t>(t)] += b;
+    }
+
+    std::uint64_t totalCount() const;
+    Bits totalBits() const;
+    void reset();
+};
+
+} // namespace mscp::proto
+
+#endif // MSCP_PROTO_MESSAGE_HH

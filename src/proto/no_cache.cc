@@ -1,0 +1,39 @@
+#include "no_cache.hh"
+
+namespace mscp::proto
+{
+
+NoCacheProtocol::NoCacheProtocol(net::OmegaNetwork &network,
+                                 MessageSizes sizes,
+                                 unsigned block_words)
+    : CoherenceProtocol(network, sizes), blockWords(block_words)
+{
+    for (unsigned i = 0; i < network.numPorts(); ++i)
+        memories.emplace_back(static_cast<NodeId>(i), blockWords);
+}
+
+std::uint64_t
+NoCacheProtocol::read(NodeId cpu, Addr addr)
+{
+    BlockId blk = addr / blockWords;
+    auto off = static_cast<unsigned>(addr % blockWords);
+    NodeId home = homeOf(blk);
+    sendUnicast(MsgType::MemRead, cpu, home, 0);
+    std::uint64_t v = memories[home].readWord(blk, off);
+    sendUnicast(MsgType::MemReadReply, home, cpu, sizes.wordBits);
+    goldenRead(addr, v);
+    return v;
+}
+
+void
+NoCacheProtocol::write(NodeId cpu, Addr addr, std::uint64_t value)
+{
+    BlockId blk = addr / blockWords;
+    auto off = static_cast<unsigned>(addr % blockWords);
+    NodeId home = homeOf(blk);
+    sendUnicast(MsgType::MemWrite, cpu, home, sizes.wordBits);
+    memories[home].writeWord(blk, off, value);
+    goldenWrite(addr, value);
+}
+
+} // namespace mscp::proto

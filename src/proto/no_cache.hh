@@ -1,0 +1,47 @@
+/**
+ * @file
+ * No-cache baseline (paper eq. 9).
+ *
+ * Every reference crosses the network to the block's home memory
+ * module: a read is a request/reply round trip (cost 2 messages),
+ * a write a single request carrying the datum (cost 1), matching
+ * the paper's "communication cost for a read is twice that for a
+ * write" assumption.
+ */
+
+#ifndef MSCP_PROTO_NO_CACHE_HH
+#define MSCP_PROTO_NO_CACHE_HH
+
+#include <vector>
+
+#include "mem/memory_module.hh"
+#include "proto/protocol.hh"
+
+namespace mscp::proto
+{
+
+/** Shared memory with no private caches. */
+class NoCacheProtocol : public CoherenceProtocol
+{
+  public:
+    NoCacheProtocol(net::OmegaNetwork &network, MessageSizes sizes,
+                    unsigned block_words);
+
+    std::uint64_t read(NodeId cpu, Addr addr) override;
+    void write(NodeId cpu, Addr addr, std::uint64_t value) override;
+    std::string protoName() const override { return "no-cache"; }
+
+    NodeId
+    homeOf(BlockId block) const
+    {
+        return static_cast<NodeId>(block % memories.size());
+    }
+
+  private:
+    unsigned blockWords;
+    std::vector<mem::MemoryModule> memories;
+};
+
+} // namespace mscp::proto
+
+#endif // MSCP_PROTO_NO_CACHE_HH

@@ -1,0 +1,86 @@
+#include "protocol.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::proto
+{
+
+void
+CoherenceProtocol::sendUnicast(MsgType t, NodeId src, NodeId dst,
+                               Bits payload)
+{
+    Bits total = sizes.control() + payload;
+    msgs.record(t, total);
+    if (recorder)
+        recorder({t, src, {dst}, total, net::Scheme::Unicasts});
+    if (src == dst)
+        return; // co-located processor-memory element
+    net.unicast(src, dst, total);
+}
+
+void
+CoherenceProtocol::sendMulticast(MsgType t, net::Scheme scheme,
+                                 NodeId src,
+                                 const std::vector<NodeId> &dests,
+                                 Bits payload)
+{
+    if (dests.empty())
+        return;
+    Bits total = sizes.control() + payload;
+    msgs.record(t, total);
+    if (recorder)
+        recorder({t, src, dests, total, scheme});
+    net.multicast(scheme, src, dests, total);
+}
+
+void
+CoherenceProtocol::goldenWrite(Addr addr, std::uint64_t value)
+{
+    if (goldenCheck)
+        golden[addr] = value;
+}
+
+void
+CoherenceProtocol::goldenRead(Addr addr, std::uint64_t value)
+{
+    if (!goldenCheck)
+        return;
+    auto it = golden.find(addr);
+    std::uint64_t expect = it == golden.end() ? 0 : it->second;
+    if (value != expect) {
+        ++_valueErrors;
+        warn("%s: read @%llu returned %llu, expected %llu",
+             protoName().c_str(),
+             static_cast<unsigned long long>(addr),
+             static_cast<unsigned long long>(value),
+             static_cast<unsigned long long>(expect));
+    }
+}
+
+RunResult
+CoherenceProtocol::run(workload::ReferenceStream &stream)
+{
+    RunResult res;
+    Bits start_bits = net.linkStats().totalBits();
+    std::uint64_t start_msgs = msgs.totalCount();
+    std::uint64_t start_errors = _valueErrors;
+
+    workload::MemRef ref;
+    while (stream.next(ref)) {
+        ++res.refs;
+        if (ref.isWrite) {
+            ++res.writes;
+            write(ref.cpu, ref.addr, ref.value);
+        } else {
+            ++res.reads;
+            read(ref.cpu, ref.addr);
+        }
+    }
+
+    res.networkBits = net.linkStats().totalBits() - start_bits;
+    res.messages = msgs.totalCount() - start_msgs;
+    res.valueErrors = _valueErrors - start_errors;
+    return res;
+}
+
+} // namespace mscp::proto

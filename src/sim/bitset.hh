@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A run-time sized bitset.
+ *
+ * Used for present-flag vectors (one bit per cache) and as the
+ * routing tag of multicast scheme 2. std::bitset is compile-time
+ * sized and std::vector<bool> lacks word-level operations, hence
+ * this small dedicated type.
+ */
+
+#ifndef MSCP_SIM_BITSET_HH
+#define MSCP_SIM_BITSET_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mscp
+{
+
+/** Fixed-length (at construction) bitset with popcount support. */
+class DynamicBitset
+{
+  public:
+    DynamicBitset() = default;
+
+    /** Construct @p nbits cleared bits. */
+    explicit DynamicBitset(std::size_t nbits)
+        : nbits(nbits), words((nbits + 63) / 64, 0)
+    {}
+
+    std::size_t size() const { return nbits; }
+
+    bool
+    test(std::size_t i) const
+    {
+        checkIndex(i);
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(std::size_t i, bool v = true)
+    {
+        checkIndex(i);
+        if (v)
+            words[i >> 6] |= std::uint64_t{1} << (i & 63);
+        else
+            words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    void reset(std::size_t i) { set(i, false); }
+
+    /** Clear every bit. */
+    void
+    clear()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t c = 0;
+        for (auto w : words)
+            c += static_cast<std::size_t>(std::popcount(w));
+        return c;
+    }
+
+    /** @return true iff at least one bit is set. */
+    bool
+    any() const
+    {
+        for (auto w : words)
+            if (w)
+                return true;
+        return false;
+    }
+
+    bool none() const { return !any(); }
+
+    /**
+     * @return true iff any bit in [lo, hi) is set.
+     */
+    bool
+    anyInRange(std::size_t lo, std::size_t hi) const
+    {
+        panic_if(lo > hi || hi > nbits, "bad bit range [%zu,%zu)",
+                 lo, hi);
+        for (std::size_t i = lo; i < hi; ++i)
+            if (test(i))
+                return true;
+        return false;
+    }
+
+    /** Index of the lowest set bit, or size() if none. */
+    std::size_t
+    findFirst() const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            if (words[wi]) {
+                return (wi << 6) + static_cast<std::size_t>(
+                    std::countr_zero(words[wi]));
+            }
+        }
+        return nbits;
+    }
+
+    /** Index of the lowest set bit > @p i, or size() if none. */
+    std::size_t
+    findNext(std::size_t i) const
+    {
+        for (std::size_t j = i + 1; j < nbits; ++j)
+            if (test(j))
+                return j;
+        return nbits;
+    }
+
+    /** Indices of all set bits, ascending. */
+    std::vector<std::uint32_t>
+    setBits() const
+    {
+        std::vector<std::uint32_t> out;
+        out.reserve(count());
+        for (std::size_t i = findFirst(); i < nbits; i = findNext(i))
+            out.push_back(static_cast<std::uint32_t>(i));
+        return out;
+    }
+
+    bool
+    operator==(const DynamicBitset &o) const
+    {
+        return nbits == o.nbits && words == o.words;
+    }
+
+  private:
+    void
+    checkIndex(std::size_t i) const
+    {
+        panic_if(i >= nbits, "bit index %zu out of range (size %zu)",
+                 i, nbits);
+    }
+
+    std::size_t nbits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace mscp
+
+#endif // MSCP_SIM_BITSET_HH

@@ -1,0 +1,74 @@
+#include "eventq.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp
+{
+
+EventId
+EventQueue::schedule(std::function<void()> cb, Tick when)
+{
+    panic_if(when < _curTick,
+             "scheduling event in the past (when=%llu cur=%llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(_curTick));
+    Key key{when, nextSeq++};
+    EventId id = key.seq;
+    events.emplace(key, std::move(cb));
+    idIndex.emplace(id, key);
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = idIndex.find(id);
+    if (it == idIndex.end())
+        return false;
+    events.erase(it->second);
+    idIndex.erase(it);
+    return true;
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return events.empty() ? maxTick : events.begin()->first.when;
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    auto it = events.begin();
+    Key key = it->first;
+    std::function<void()> cb = std::move(it->second);
+    events.erase(it);
+    idIndex.erase(key.seq);
+    _curTick = key.when;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick max_ticks)
+{
+    std::uint64_t executed = 0;
+    while (!events.empty() && events.begin()->first.when <= max_ticks) {
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    events.clear();
+    idIndex.clear();
+    _curTick = 0;
+    nextSeq = 0;
+}
+
+} // namespace mscp

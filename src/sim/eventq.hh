@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick fire in schedule order (a
+ * monotonically increasing sequence number breaks ties), which keeps
+ * simulations reproducible across runs and platforms.
+ */
+
+#ifndef MSCP_SIM_EVENTQ_HH
+#define MSCP_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace mscp
+{
+
+/** Opaque handle identifying a scheduled event for descheduling. */
+using EventId = std::uint64_t;
+
+/**
+ * Discrete-event queue with deterministic same-tick ordering.
+ *
+ * The queue owns no simulation objects; callbacks are plain
+ * std::function values. Typical use:
+ *
+ *     EventQueue eq;
+ *     eq.schedule([&]{ ... }, eq.curTick() + 5);
+ *     eq.run();
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Number of events waiting in the queue. */
+    std::size_t size() const { return events.size(); }
+
+    /** @return true iff no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param cb callback to invoke
+     * @param when absolute tick, must be >= curTick()
+     * @return handle usable with deschedule()
+     */
+    EventId schedule(std::function<void()> cb, Tick when);
+
+    /** Schedule a callback @p delay ticks in the future. */
+    EventId
+    scheduleIn(std::function<void()> cb, Tick delay)
+    {
+        return schedule(std::move(cb), _curTick + delay);
+    }
+
+    /**
+     * Remove a previously scheduled event.
+     *
+     * @return true if the event was found and removed, false if it
+     *         already fired or was never scheduled.
+     */
+    bool deschedule(EventId id);
+
+    /** Tick at which the next event fires, or maxTick if empty. */
+    Tick nextTick() const;
+
+    /**
+     * Execute a single event (the earliest one), advancing time.
+     *
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or @p maxTicks is reached.
+     *
+     * @param maxTicks stop once curTick() would exceed this value
+     * @return number of events executed
+     */
+    std::uint64_t run(Tick maxTicks = maxTick);
+
+    /** Drop every pending event and reset time to zero. */
+    void reset();
+
+  private:
+    struct Key
+    {
+        Tick when;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            return when != o.when ? when < o.when : seq < o.seq;
+        }
+    };
+
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::map<Key, std::function<void()>> events;
+    std::map<EventId, Key> idIndex;
+};
+
+} // namespace mscp
+
+#endif // MSCP_SIM_EVENTQ_HH

@@ -1,0 +1,176 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace mscp
+{
+
+std::string
+vcsprintf(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+namespace
+{
+
+bool throwsOnError = true;
+
+} // anonymous namespace
+
+void
+setLoggingThrows(bool throws)
+{
+    throwsOnError = throws;
+}
+
+bool
+loggingThrows()
+{
+    return throwsOnError;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::string full = csprintf("panic: %s (%s:%d)", msg.c_str(),
+                                file, line);
+    if (throwsOnError)
+        throw PanicError{full};
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::string full = csprintf("fatal: %s (%s:%d)", msg.c_str(),
+                                file, line);
+    if (throwsOnError)
+        throw FatalError{full};
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+namespace debug
+{
+
+namespace
+{
+
+std::set<std::string> &
+flagSet()
+{
+    static std::set<std::string> flags = [] {
+        std::set<std::string> init;
+        if (const char *env = std::getenv("MSCP_DEBUG")) {
+            const char *p = env;
+            while (*p) {
+                const char *comma = std::strchr(p, ',');
+                std::size_t len = comma ? static_cast<std::size_t>(
+                    comma - p) : std::strlen(p);
+                if (len > 0)
+                    init.emplace(p, len);
+                p += len;
+                if (*p == ',')
+                    ++p;
+            }
+        }
+        return init;
+    }();
+    return flags;
+}
+
+} // anonymous namespace
+
+void
+enable(const std::string &flag)
+{
+    flagSet().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    flagSet().erase(flag);
+}
+
+bool
+enabled(const std::string &flag)
+{
+    const auto &flags = flagSet();
+    return flags.count(flag) > 0 || flags.count("All") > 0;
+}
+
+void
+clear()
+{
+    flagSet().clear();
+}
+
+} // namespace debug
+
+void
+dprintfImpl(const char *flag, const char *fmt, ...)
+{
+    if (!debug::enabled(flag))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "%s: %s\n", flag, msg.c_str());
+}
+
+} // namespace mscp

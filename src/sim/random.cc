@@ -1,0 +1,23 @@
+#include "random.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace mscp
+{
+
+std::vector<std::uint32_t>
+Random::sampleWithoutReplacement(std::uint32_t n, std::uint32_t k)
+{
+    panic_if(k > n, "cannot sample %u distinct values from [0,%u)",
+             k, n);
+    std::set<std::uint32_t> chosen;
+    for (std::uint32_t j = n - k; j < n; ++j) {
+        auto t = static_cast<std::uint32_t>(uniform(0, j));
+        if (!chosen.insert(t).second)
+            chosen.insert(j);
+    }
+    return std::vector<std::uint32_t>(chosen.begin(), chosen.end());
+}
+
+} // namespace mscp

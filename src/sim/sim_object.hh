@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef MSCP_SIM_SIM_OBJECT_HH
+#define MSCP_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace mscp
+{
+
+/**
+ * A named simulation component owning a statistics group.
+ *
+ * Components (caches, memory modules, switches...) derive from this
+ * so their statistics appear under a per-object prefix in dumps.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param name dotted-path instance name, e.g. "system.cache3"
+     * @param parent optional stats parent group
+     */
+    explicit SimObject(std::string name,
+                       stats::Group *parent = nullptr)
+        : _statsGroup(std::move(name), parent)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _statsGroup.name(); }
+
+    stats::Group &statsGroup() { return _statsGroup; }
+    const stats::Group &statsGroup() const { return _statsGroup; }
+
+    /** Reset this object's statistics. */
+    virtual void resetStats() { _statsGroup.resetStats(); }
+
+  private:
+    stats::Group _statsGroup;
+};
+
+} // namespace mscp
+
+#endif // MSCP_SIM_SIM_OBJECT_HH

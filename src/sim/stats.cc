@@ -1,0 +1,255 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace mscp::stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+Group::Group(std::string name, Group *parent)
+    : _name(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+std::string
+Group::fullName() const
+{
+    if (!parent)
+        return _name;
+    std::string base = parent->fullName();
+    return base.empty() ? _name : base + "." + _name;
+}
+
+void
+Group::addStat(Stat *stat)
+{
+    statList.push_back(stat);
+}
+
+void
+Group::removeStat(Stat *stat)
+{
+    statList.erase(std::remove(statList.begin(), statList.end(), stat),
+                   statList.end());
+}
+
+void
+Group::addChild(Group *child)
+{
+    children.push_back(child);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    children.erase(std::remove(children.begin(), children.end(), child),
+                   children.end());
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    std::string prefix = fullName();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const Stat *s : statList)
+        s->dump(os, prefix);
+    for (const Group *g : children)
+        g->dump(os);
+}
+
+void
+Group::resetStats()
+{
+    for (Stat *s : statList)
+        s->reset();
+    for (Group *g : children)
+        g->resetStats();
+}
+
+namespace
+{
+
+void
+dumpLine(std::ostream &os, const std::string &name, double value,
+         const std::string &desc)
+{
+    os << std::left << std::setw(44) << name << " "
+       << std::right << std::setw(16) << value;
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << "\n";
+}
+
+} // anonymous namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix + name(), _value, desc());
+}
+
+double
+Vector::total() const
+{
+    double t = 0;
+    for (double v : values)
+        t += v;
+    return t;
+}
+
+void
+Vector::setSubnames(std::vector<std::string> names)
+{
+    panic_if(names.size() != values.size(),
+             "subname count %zu != vector size %zu",
+             names.size(), values.size());
+    subnames = std::move(names);
+}
+
+void
+Vector::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        std::string sub = subnames.empty()
+            ? std::to_string(i) : subnames[i];
+        dumpLine(os, prefix + name() + "::" + sub, values[i],
+                 i == 0 ? desc() : "");
+    }
+    dumpLine(os, prefix + name() + "::total", total(), "");
+}
+
+void
+Vector::reset()
+{
+    std::fill(values.begin(), values.end(), 0.0);
+}
+
+void
+Average::sample(double v)
+{
+    if (n == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    sum += v;
+    ++n;
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix + name();
+    dumpLine(os, base + "::mean", mean(), desc());
+    dumpLine(os, base + "::min", min(), "");
+    dumpLine(os, base + "::max", max(), "");
+    dumpLine(os, base + "::samples", static_cast<double>(n), "");
+}
+
+void
+Average::reset()
+{
+    n = 0;
+    sum = 0;
+    _min = 0;
+    _max = 0;
+}
+
+Distribution::Distribution(Group *parent, std::string name,
+                           std::string desc, double lo, double hi,
+                           double bucket_width)
+    : Stat(parent, std::move(name), std::move(desc)),
+      lo(lo), hi(hi), width(bucket_width)
+{
+    panic_if(hi < lo, "distribution hi < lo");
+    panic_if(bucket_width <= 0, "distribution bucket width <= 0");
+    auto nbuckets = static_cast<std::size_t>(
+        std::ceil((hi - lo + 1) / bucket_width));
+    bkts.assign(std::max<std::size_t>(nbuckets, 1), 0);
+}
+
+void
+Distribution::sample(double v, std::uint64_t times)
+{
+    if (v < lo) {
+        under += times;
+    } else if (v > hi) {
+        over += times;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        idx = std::min(idx, bkts.size() - 1);
+        bkts[idx] += times;
+    }
+    n += times;
+    sum += v * static_cast<double>(times);
+    squares += v * v * static_cast<double>(times);
+}
+
+double
+Distribution::stdev() const
+{
+    if (n < 2)
+        return 0;
+    double m = mean();
+    double var = squares / static_cast<double>(n) - m * m;
+    return var > 0 ? std::sqrt(var) : 0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix + name();
+    dumpLine(os, base + "::samples", static_cast<double>(n), desc());
+    dumpLine(os, base + "::mean", mean(), "");
+    dumpLine(os, base + "::stdev", stdev(), "");
+    dumpLine(os, base + "::underflows", static_cast<double>(under), "");
+    for (std::size_t i = 0; i < bkts.size(); ++i) {
+        if (bkts[i] == 0)
+            continue;
+        double b_lo = lo + static_cast<double>(i) * width;
+        std::string tag = csprintf("[%g,%g)", b_lo, b_lo + width);
+        dumpLine(os, base + "::" + tag,
+                 static_cast<double>(bkts[i]), "");
+    }
+    dumpLine(os, base + "::overflows", static_cast<double>(over), "");
+}
+
+void
+Distribution::reset()
+{
+    std::fill(bkts.begin(), bkts.end(), 0);
+    under = 0;
+    over = 0;
+    n = 0;
+    sum = 0;
+    squares = 0;
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix + name(), value(), desc());
+}
+
+} // namespace mscp::stats

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics register themselves with a Group; groups form a named
+ * hierarchy and can be dumped to any ostream. Supported kinds:
+ *
+ *  - Scalar        a single counter / value
+ *  - Vector        a fixed-size array of counters with element names
+ *  - Average       running mean/min/max of samples
+ *  - Distribution  fixed-width bucket histogram plus moments
+ *  - Formula       value computed on demand from other stats
+ */
+
+#ifndef MSCP_SIM_STATS_HH
+#define MSCP_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mscp::stats
+{
+
+class Group;
+
+/** Base class for every statistic. */
+class Stat
+{
+  public:
+    /**
+     * @param parent owning group (may be nullptr for free stats)
+     * @param name dotted-path leaf name
+     * @param desc human-readable description
+     */
+    Stat(Group *parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Write "fullName value # desc" style lines. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A named collection of statistics, possibly nested. */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Fully qualified dotted name. */
+    std::string fullName() const;
+
+    /** Dump this group and all children. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in this group and all children. */
+    void resetStats();
+
+    /** @{ registration hooks used by Stat/Group constructors. */
+    void addStat(Stat *stat);
+    void removeStat(Stat *stat);
+    void addChild(Group *child);
+    void removeChild(Group *child);
+    /** @} */
+
+  private:
+    std::string _name;
+    Group *parent;
+    std::vector<Stat *> statList;
+    std::vector<Group *> children;
+};
+
+/** A single scalar counter. */
+class Scalar : public Stat
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : Stat(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator-=(double v) { _value -= v; return *this; }
+    Scalar &operator++() { _value += 1; return *this; }
+
+    double value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** A fixed-size vector of counters. */
+class Vector : public Stat
+{
+  public:
+    Vector(Group *parent, std::string name, std::string desc,
+           std::size_t size)
+        : Stat(parent, std::move(name), std::move(desc)),
+          values(size, 0.0)
+    {}
+
+    double &operator[](std::size_t i) { return values.at(i); }
+    double operator[](std::size_t i) const { return values.at(i); }
+
+    std::size_t size() const { return values.size(); }
+
+    /** Sum of all elements. */
+    double total() const;
+
+    /** Optional per-element names (defaults to the index). */
+    void setSubnames(std::vector<std::string> names);
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::vector<double> values;
+    std::vector<std::string> subnames;
+};
+
+/** Running mean / min / max over samples. */
+class Average : public Stat
+{
+  public:
+    Average(Group *parent, std::string name, std::string desc)
+        : Stat(parent, std::move(name), std::move(desc))
+    {}
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0; }
+    double min() const { return n ? _min : 0; }
+    double max() const { return n ? _max : 0; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/** Fixed-width bucket histogram with mean and stdev. */
+class Distribution : public Stat
+{
+  public:
+    /**
+     * @param lo lowest bucketed value (inclusive)
+     * @param hi highest bucketed value (inclusive)
+     * @param bucket_width width of each bucket
+     */
+    Distribution(Group *parent, std::string name, std::string desc,
+                 double lo, double hi, double bucket_width);
+
+    void sample(double v, std::uint64_t times = 1);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0; }
+    double stdev() const;
+    std::uint64_t underflows() const { return under; }
+    std::uint64_t overflows() const { return over; }
+    const std::vector<std::uint64_t> &buckets() const { return bkts; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::uint64_t> bkts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+    double sum = 0;
+    double squares = 0;
+};
+
+/** A value computed on demand, e.g. a ratio of two scalars. */
+class Formula : public Stat
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(parent, std::move(name), std::move(desc)),
+          fn(std::move(fn))
+    {}
+
+    double value() const { return fn ? fn() : 0; }
+
+    void dump(std::ostream &os, const std::string &prefix)
+        const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn;
+};
+
+} // namespace mscp::stats
+
+#endif // MSCP_SIM_STATS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every mscp subsystem.
+ */
+
+#ifndef MSCP_SIM_TYPES_HH
+#define MSCP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mscp
+{
+
+/** Simulated time, in abstract network/protocol cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Identifier of a network endpoint. Caches occupy ids
+ * [0, numCaches); memory modules follow at
+ * [numCaches, numCaches + numMemories).
+ */
+using NodeId = std::uint32_t;
+
+/** Sentinel node id. */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Block number (block-aligned address >> log2(blockBytes)). */
+using BlockId = std::uint64_t;
+
+/** Amount of information crossing network links, in bits. */
+using Bits = std::uint64_t;
+
+/**
+ * Integer log2 for exact powers of two.
+ *
+ * @param x a power of two
+ * @return log2(x)
+ */
+constexpr unsigned
+log2Exact(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** @return true iff x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace mscp
+
+#endif // MSCP_SIM_TYPES_HH

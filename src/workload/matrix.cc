@@ -1,0 +1,84 @@
+#include "matrix.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::workload
+{
+
+MatrixWorkload::MatrixWorkload(MatrixParams params)
+    : p(std::move(params))
+{
+    fatal_if(p.placement.empty(), "matrix workload needs tasks");
+    fatal_if(p.rows < p.placement.size(),
+             "need at least one row per task");
+    build();
+}
+
+unsigned
+MatrixWorkload::ownerTaskOf(unsigned row) const
+{
+    auto tasks = static_cast<unsigned>(p.placement.size());
+    unsigned per = p.rows / tasks;
+    unsigned task = per ? row / per : 0;
+    return std::min(task, tasks - 1);
+}
+
+void
+MatrixWorkload::build()
+{
+    refs.clear();
+    auto row_addr = [&](unsigned row) {
+        return p.baseAddr + static_cast<Addr>(row) * p.wordsPerRow;
+    };
+
+    for (unsigned sweep = 0; sweep < p.sweeps; ++sweep) {
+        // Phase 1: every task updates its own rows (read + write).
+        // Writers touch their blocks first, so ownership settles on
+        // the writer and never migrates - the paper's Sec. 5 best
+        // case for matrix codes.
+        for (unsigned row = 0; row < p.rows; ++row) {
+            NodeId cpu = p.placement[ownerTaskOf(row)];
+            for (unsigned wd = 0; wd < p.wordsPerRow; ++wd) {
+                refs.push_back({cpu, row_addr(row) + wd, false, 0});
+                refs.push_back({cpu, row_addr(row) + wd, true,
+                                nextValue++});
+            }
+        }
+        // Phase 2: every task reads the rows neighbouring its own
+        // (cross-task sharing at the partition boundaries).
+        for (unsigned row = 0; row < p.rows; ++row) {
+            NodeId cpu = p.placement[ownerTaskOf(row)];
+            for (int d : {-1, +1}) {
+                int nb = static_cast<int>(row) + d;
+                if (nb < 0 || nb >= static_cast<int>(p.rows))
+                    continue;
+                if (ownerTaskOf(static_cast<unsigned>(nb)) ==
+                    ownerTaskOf(row))
+                    continue; // own row: already cached
+                for (unsigned wd = 0; wd < p.wordsPerRow; ++wd) {
+                    refs.push_back({cpu,
+                                    row_addr(static_cast<unsigned>(
+                                        nb)) + wd,
+                                    false, 0});
+                }
+            }
+        }
+    }
+}
+
+bool
+MatrixWorkload::next(MemRef &ref)
+{
+    if (pos >= refs.size())
+        return false;
+    ref = refs[pos++];
+    return true;
+}
+
+void
+MatrixWorkload::reset()
+{
+    pos = 0;
+}
+
+} // namespace mscp::workload

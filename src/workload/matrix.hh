@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A matrix-relaxation workload (Jacobi/SOR style).
+ *
+ * The paper motivates the two-mode protocol with supercomputing
+ * applications "based on matrix operations" where each block of the
+ * shared structure is modified by at most one task. This generator
+ * partitions the rows of a matrix among n tasks; every sweep, each
+ * task reads the boundary rows of its neighbours and then updates
+ * (reads + writes) its own rows. Ownership of a block therefore
+ * never migrates, the paper's best case.
+ */
+
+#ifndef MSCP_WORKLOAD_MATRIX_HH
+#define MSCP_WORKLOAD_MATRIX_HH
+
+#include <vector>
+
+#include "workload/ref_stream.hh"
+
+namespace mscp::workload
+{
+
+/** Parameters of the matrix relaxation workload. */
+struct MatrixParams
+{
+    std::vector<NodeId> placement; ///< task -> processor
+    unsigned rows = 16;            ///< matrix rows
+    unsigned wordsPerRow = 16;     ///< row length in words
+    unsigned sweeps = 4;           ///< relaxation iterations
+    Addr baseAddr = 0;             ///< matrix base address
+};
+
+/** Row-partitioned relaxation reference stream. */
+class MatrixWorkload : public ReferenceStream
+{
+  public:
+    explicit MatrixWorkload(MatrixParams params);
+
+    bool next(MemRef &ref) override;
+    std::string name() const override { return "matrix"; }
+    void reset() override;
+
+    /** Task owning @p row (contiguous partition). */
+    unsigned ownerTaskOf(unsigned row) const;
+
+  private:
+    /** Pre-computed full reference string. */
+    void build();
+
+    MatrixParams p;
+    std::vector<MemRef> refs;
+    std::size_t pos = 0;
+    std::uint64_t nextValue = 1;
+};
+
+} // namespace mscp::workload
+
+#endif // MSCP_WORKLOAD_MATRIX_HH

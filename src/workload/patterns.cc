@@ -1,0 +1,138 @@
+#include "patterns.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::workload
+{
+
+ProducerConsumerWorkload::ProducerConsumerWorkload(
+    ProducerConsumerParams params)
+    : p(std::move(params))
+{
+    fatal_if(p.placement.size() < 2,
+             "producer-consumer needs >= 2 tasks");
+    build();
+}
+
+void
+ProducerConsumerWorkload::build()
+{
+    refs.clear();
+    NodeId producer = p.placement[0];
+    unsigned words = p.bufferBlocks * p.blockWords;
+
+    for (unsigned round = 0; round < p.rounds; ++round) {
+        for (unsigned wd = 0; wd < words; ++wd)
+            refs.push_back({producer, p.baseAddr + wd, true,
+                            nextValue++});
+        for (std::size_t t = 1; t < p.placement.size(); ++t) {
+            for (unsigned wd = 0; wd < words; ++wd)
+                refs.push_back({p.placement[t], p.baseAddr + wd,
+                                false, 0});
+        }
+    }
+}
+
+bool
+ProducerConsumerWorkload::next(MemRef &ref)
+{
+    if (pos >= refs.size())
+        return false;
+    ref = refs[pos++];
+    return true;
+}
+
+MigratoryWorkload::MigratoryWorkload(MigratoryParams params)
+    : p(std::move(params))
+{
+    fatal_if(p.placement.empty(), "migratory needs tasks");
+    build();
+}
+
+void
+MigratoryWorkload::build()
+{
+    refs.clear();
+    for (unsigned round = 0; round < p.rounds; ++round) {
+        NodeId cpu = p.placement[round % p.placement.size()];
+        for (unsigned b = 0; b < p.numBlocks; ++b) {
+            Addr base = p.baseAddr +
+                static_cast<Addr>(b) * p.blockWords;
+            for (unsigned wd = 0; wd < p.blockWords; ++wd) {
+                refs.push_back({cpu, base + wd, false, 0});
+                refs.push_back({cpu, base + wd, true, nextValue++});
+            }
+        }
+    }
+}
+
+bool
+MigratoryWorkload::next(MemRef &ref)
+{
+    if (pos >= refs.size())
+        return false;
+    ref = refs[pos++];
+    return true;
+}
+
+HotSpotWorkload::HotSpotWorkload(HotSpotParams params)
+    : p(std::move(params)), rng(p.seed)
+{
+    fatal_if(p.placement.empty(), "hot-spot needs tasks");
+    fatal_if(p.writeFraction < 0 || p.writeFraction > 1,
+             "write fraction must be in [0,1]");
+}
+
+bool
+HotSpotWorkload::next(MemRef &ref)
+{
+    if (issued >= p.numRefs)
+        return false;
+    ++issued;
+    auto task = static_cast<std::size_t>(
+        rng.uniform(0, p.placement.size() - 1));
+    ref.cpu = p.placement[task];
+    ref.addr = p.baseAddr + rng.uniform(0, p.blockWords - 1);
+    ref.isWrite = rng.bernoulli(p.writeFraction);
+    ref.value = ref.isWrite ? nextValue++ : 0;
+    return true;
+}
+
+void
+HotSpotWorkload::reset()
+{
+    rng.seed(p.seed);
+    issued = 0;
+    nextValue = 1;
+}
+
+UniformRandomWorkload::UniformRandomWorkload(
+    UniformRandomParams params)
+    : p(std::move(params)), rng(p.seed)
+{
+    fatal_if(p.numCpus == 0, "need >= 1 cpu");
+    fatal_if(p.addrRange == 0, "need a non-empty address range");
+}
+
+bool
+UniformRandomWorkload::next(MemRef &ref)
+{
+    if (issued >= p.numRefs)
+        return false;
+    ++issued;
+    ref.cpu = static_cast<NodeId>(rng.uniform(0, p.numCpus - 1));
+    ref.addr = rng.uniform(0, p.addrRange - 1);
+    ref.isWrite = rng.bernoulli(p.writeFraction);
+    ref.value = ref.isWrite ? nextValue++ : 0;
+    return true;
+}
+
+void
+UniformRandomWorkload::reset()
+{
+    rng.seed(p.seed);
+    issued = 0;
+    nextValue = 1;
+}
+
+} // namespace mscp::workload

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Additional sharing-pattern generators: producer/consumer,
+ * migratory, hot-spot and uniform-random streams.
+ *
+ * Producer/consumer and migratory exercise the ownership-transfer
+ * machinery the paper's Sec. 5 flags as the protocol's expensive
+ * case ("for applications where several tasks can modify a block,
+ * or when tasks can migrate, ownership will change"); hot-spot adds
+ * contention on a single block; uniform-random feeds the random
+ * coherence tester.
+ */
+
+#ifndef MSCP_WORKLOAD_PATTERNS_HH
+#define MSCP_WORKLOAD_PATTERNS_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/ref_stream.hh"
+
+namespace mscp::workload
+{
+
+/** One producer fills a buffer; consumers read it; repeat. */
+struct ProducerConsumerParams
+{
+    std::vector<NodeId> placement; ///< task 0 produces, rest consume
+    unsigned bufferBlocks = 4;
+    unsigned blockWords = 8;
+    Addr baseAddr = 0;
+    unsigned rounds = 8;
+};
+
+/** Producer/consumer phases. */
+class ProducerConsumerWorkload : public ReferenceStream
+{
+  public:
+    explicit ProducerConsumerWorkload(ProducerConsumerParams params);
+
+    bool next(MemRef &ref) override;
+    std::string name() const override { return "producer-consumer"; }
+    void reset() override { pos = 0; }
+
+  private:
+    void build();
+
+    ProducerConsumerParams p;
+    std::vector<MemRef> refs;
+    std::size_t pos = 0;
+    std::uint64_t nextValue = 1;
+};
+
+/** Tasks read-modify-write a block in round-robin turns. */
+struct MigratoryParams
+{
+    std::vector<NodeId> placement;
+    unsigned numBlocks = 1;
+    unsigned blockWords = 8;
+    Addr baseAddr = 0;
+    unsigned rounds = 16;
+};
+
+/** Migratory-sharing stream (ownership changes every turn). */
+class MigratoryWorkload : public ReferenceStream
+{
+  public:
+    explicit MigratoryWorkload(MigratoryParams params);
+
+    bool next(MemRef &ref) override;
+    std::string name() const override { return "migratory"; }
+    void reset() override { pos = 0; }
+
+  private:
+    void build();
+
+    MigratoryParams p;
+    std::vector<MemRef> refs;
+    std::size_t pos = 0;
+    std::uint64_t nextValue = 1;
+};
+
+/** Every task hammers one block with write fraction w. */
+struct HotSpotParams
+{
+    std::vector<NodeId> placement;
+    double writeFraction = 0.5;
+    unsigned blockWords = 8;
+    Addr baseAddr = 0;
+    std::uint64_t numRefs = 10000;
+    std::uint64_t seed = 7;
+};
+
+/** Hot-spot contention stream (any task may write). */
+class HotSpotWorkload : public ReferenceStream
+{
+  public:
+    explicit HotSpotWorkload(HotSpotParams params);
+
+    bool next(MemRef &ref) override;
+    std::string name() const override { return "hot-spot"; }
+    void reset() override;
+
+  private:
+    HotSpotParams p;
+    Random rng;
+    std::uint64_t issued = 0;
+    std::uint64_t nextValue = 1;
+};
+
+/** Fully random references over a bounded address range. */
+struct UniformRandomParams
+{
+    unsigned numCpus = 4;
+    Addr addrRange = 256;    ///< addresses drawn from [0, range)
+    double writeFraction = 0.4;
+    std::uint64_t numRefs = 20000;
+    std::uint64_t seed = 11;
+};
+
+/** Random tester stream (gem5 ruby-random-tester style). */
+class UniformRandomWorkload : public ReferenceStream
+{
+  public:
+    explicit UniformRandomWorkload(UniformRandomParams params);
+
+    bool next(MemRef &ref) override;
+    std::string name() const override { return "uniform-random"; }
+    void reset() override;
+
+  private:
+    UniformRandomParams p;
+    Random rng;
+    std::uint64_t issued = 0;
+    std::uint64_t nextValue = 1;
+};
+
+} // namespace mscp::workload
+
+#endif // MSCP_WORKLOAD_PATTERNS_HH

@@ -1,0 +1,43 @@
+#include "placement.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::workload
+{
+
+std::vector<NodeId>
+adjacentPlacement(unsigned num_tasks)
+{
+    return clusterPlacement(num_tasks, 0);
+}
+
+std::vector<NodeId>
+clusterPlacement(unsigned num_tasks, NodeId base)
+{
+    std::vector<NodeId> p(num_tasks);
+    for (unsigned t = 0; t < num_tasks; ++t)
+        p[t] = base + t;
+    return p;
+}
+
+std::vector<NodeId>
+stridedPlacement(unsigned num_tasks, unsigned num_caches)
+{
+    fatal_if(num_tasks == 0 || num_tasks > num_caches,
+             "need 0 < tasks <= caches");
+    unsigned stride = num_caches / num_tasks;
+    std::vector<NodeId> p(num_tasks);
+    for (unsigned t = 0; t < num_tasks; ++t)
+        p[t] = t * stride;
+    return p;
+}
+
+std::vector<NodeId>
+randomPlacement(unsigned num_tasks, unsigned num_caches, Random &rng)
+{
+    fatal_if(num_tasks > num_caches, "more tasks than caches");
+    auto sample = rng.sampleWithoutReplacement(num_caches, num_tasks);
+    return std::vector<NodeId>(sample.begin(), sample.end());
+}
+
+} // namespace mscp::workload

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Task-to-processor placements.
+ *
+ * The paper's Sec. 3.4 argues that allocating an application's n1
+ * tasks on adjacently placed processors makes schemes 2 and 3 far
+ * cheaper. Placements map task indices [0, n) to processor/cache
+ * ids [0, N).
+ */
+
+#ifndef MSCP_WORKLOAD_PLACEMENT_HH
+#define MSCP_WORKLOAD_PLACEMENT_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace mscp::workload
+{
+
+/** Tasks on processors 0..n-1 (a single aligned cluster). */
+std::vector<NodeId> adjacentPlacement(unsigned num_tasks);
+
+/**
+ * Tasks on an aligned cluster starting at @p base (base must be a
+ * multiple of the cluster's power-of-two size for scheme 3 to apply
+ * without padding).
+ */
+std::vector<NodeId> clusterPlacement(unsigned num_tasks,
+                                     NodeId base);
+
+/** Tasks scattered with a fixed stride (worst case for scheme 2). */
+std::vector<NodeId> stridedPlacement(unsigned num_tasks,
+                                     unsigned num_caches);
+
+/** Uniformly random distinct processors. */
+std::vector<NodeId> randomPlacement(unsigned num_tasks,
+                                    unsigned num_caches,
+                                    Random &rng);
+
+} // namespace mscp::workload
+
+#endif // MSCP_WORKLOAD_PLACEMENT_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory-reference streams feeding the protocol engines.
+ *
+ * A workload generator produces a global reference string: an
+ * interleaved sequence of (cpu, address, read/write) operations, the
+ * same abstraction the paper's Markov model reasons about. Writes
+ * carry generator-assigned values so coherence checkers can verify
+ * that every read returns the value of the latest preceding write.
+ */
+
+#ifndef MSCP_WORKLOAD_REF_STREAM_HH
+#define MSCP_WORKLOAD_REF_STREAM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mscp::workload
+{
+
+/** One memory reference of the global reference string. */
+struct MemRef
+{
+    NodeId cpu = 0;       ///< issuing processor
+    Addr addr = 0;        ///< word address
+    bool isWrite = false; ///< write vs read
+    std::uint64_t value = 0; ///< value stored (writes only)
+};
+
+/** Interface of every workload generator. */
+class ReferenceStream
+{
+  public:
+    virtual ~ReferenceStream() = default;
+
+    /**
+     * Produce the next reference.
+     *
+     * @param[out] ref the reference
+     * @return false when the stream is exhausted
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Generator name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+} // namespace mscp::workload
+
+#endif // MSCP_WORKLOAD_REF_STREAM_HH

@@ -1,0 +1,64 @@
+#include "shared_block.hh"
+
+#include "sim/logging.hh"
+
+namespace mscp::workload
+{
+
+SharedBlockWorkload::SharedBlockWorkload(SharedBlockParams params)
+    : p(std::move(params)), rng(p.seed)
+{
+    fatal_if(p.placement.empty(), "shared-block needs >= 1 task");
+    fatal_if(p.writeFraction < 0 || p.writeFraction > 1,
+             "write fraction must be in [0,1]");
+    fatal_if(p.numBlocks == 0, "need >= 1 block");
+}
+
+bool
+SharedBlockWorkload::next(MemRef &ref)
+{
+    if (issued >= p.numRefs)
+        return false;
+    ++issued;
+
+    auto num_tasks = static_cast<unsigned>(p.placement.size());
+    auto blk = static_cast<unsigned>(
+        rng.uniform(0, p.numBlocks - 1));
+    Addr base = p.baseAddr +
+        static_cast<Addr>(blk) * p.blockWords;
+    auto offset = static_cast<Addr>(
+        rng.uniform(0, p.blockWords - 1));
+
+    if (rng.bernoulli(p.writeFraction)) {
+        ref.cpu = p.placement[writerOf(blk)];
+        ref.isWrite = true;
+        ref.value = nextValue++;
+    } else {
+        unsigned task;
+        if (p.writerAlsoReads || num_tasks == 1) {
+            task = static_cast<unsigned>(
+                rng.uniform(0, num_tasks - 1));
+        } else {
+            // Uniform over tasks other than the writer.
+            task = static_cast<unsigned>(
+                rng.uniform(0, num_tasks - 2));
+            if (task >= writerOf(blk))
+                ++task;
+        }
+        ref.cpu = p.placement[task];
+        ref.isWrite = false;
+        ref.value = 0;
+    }
+    ref.addr = base + offset;
+    return true;
+}
+
+void
+SharedBlockWorkload::reset()
+{
+    rng.seed(p.seed);
+    issued = 0;
+    nextValue = 1;
+}
+
+} // namespace mscp::workload

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paper's evaluation workload (Sec. 4).
+ *
+ * n tasks access a shared read-write data structure of one or more
+ * blocks. For each block exactly one task (its assigned writer)
+ * modifies it; every task reads it. The global reference string is a
+ * Bernoulli/Markov process: each reference is a write with
+ * probability w (issued by the block's writer) and a read otherwise
+ * (issued by a uniformly chosen task).
+ */
+
+#ifndef MSCP_WORKLOAD_SHARED_BLOCK_HH
+#define MSCP_WORKLOAD_SHARED_BLOCK_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "workload/ref_stream.hh"
+
+namespace mscp::workload
+{
+
+/** Parameters of the shared-block workload. */
+struct SharedBlockParams
+{
+    /** Processor of each task (see placement.hh). */
+    std::vector<NodeId> placement;
+    /** Probability that a reference is a write. */
+    double writeFraction = 0.2;
+    /** Number of shared blocks. */
+    unsigned numBlocks = 1;
+    /** Words per block (must match the system's geometry). */
+    unsigned blockWords = 8;
+    /** First word address of the shared region. */
+    Addr baseAddr = 0;
+    /** Total references to generate. */
+    std::uint64_t numRefs = 10000;
+    /** Whether readers include the writer task. */
+    bool writerAlsoReads = true;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Bernoulli shared read-write block stream. */
+class SharedBlockWorkload : public ReferenceStream
+{
+  public:
+    explicit SharedBlockWorkload(SharedBlockParams params);
+
+    bool next(MemRef &ref) override;
+    std::string name() const override { return "shared-block"; }
+    void reset() override;
+
+    /** Writer task of @p block_index (round-robin over tasks). */
+    unsigned
+    writerOf(unsigned block_index) const
+    {
+        return block_index %
+            static_cast<unsigned>(p.placement.size());
+    }
+
+  private:
+    SharedBlockParams p;
+    Random rng;
+    std::uint64_t issued = 0;
+    std::uint64_t nextValue = 1;
+};
+
+} // namespace mscp::workload
+
+#endif // MSCP_WORKLOAD_SHARED_BLOCK_HH

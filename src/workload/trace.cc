@@ -1,0 +1,66 @@
+#include "trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mscp::workload
+{
+
+void
+writeTrace(std::ostream &os, const std::vector<MemRef> &refs)
+{
+    os << "# mscp trace: <cpu> R <addr> | <cpu> W <addr> <value>\n";
+    for (const MemRef &r : refs) {
+        if (r.isWrite)
+            os << r.cpu << " W " << r.addr << " " << r.value << "\n";
+        else
+            os << r.cpu << " R " << r.addr << "\n";
+    }
+}
+
+std::vector<MemRef>
+readTrace(std::istream &is)
+{
+    std::vector<MemRef> refs;
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        NodeId cpu;
+        std::string op;
+        if (!(ls >> cpu))
+            continue; // blank line
+        fatal_if(!(ls >> op) || (op != "R" && op != "W"),
+                 "trace line %u: expected R or W", lineno);
+        MemRef r;
+        r.cpu = cpu;
+        r.isWrite = (op == "W");
+        fatal_if(!(ls >> r.addr), "trace line %u: missing address",
+                 lineno);
+        if (r.isWrite) {
+            fatal_if(!(ls >> r.value),
+                     "trace line %u: missing write value", lineno);
+        }
+        refs.push_back(r);
+    }
+    return refs;
+}
+
+std::vector<MemRef>
+collect(ReferenceStream &stream)
+{
+    std::vector<MemRef> refs;
+    MemRef r;
+    while (stream.next(r))
+        refs.push_back(r);
+    return refs;
+}
+
+} // namespace mscp::workload

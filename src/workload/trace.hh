@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Plain-text reference traces.
+ *
+ * Format: one reference per line, `<cpu> R <addr>` or
+ * `<cpu> W <addr> <value>`; '#' starts a comment. Traces make
+ * experiments replayable and let external tools feed the engines.
+ */
+
+#ifndef MSCP_WORKLOAD_TRACE_HH
+#define MSCP_WORKLOAD_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/ref_stream.hh"
+
+namespace mscp::workload
+{
+
+/** Serialize a reference string to a stream. */
+void writeTrace(std::ostream &os, const std::vector<MemRef> &refs);
+
+/**
+ * Parse a trace.
+ *
+ * @throws FatalError (via fatal) on malformed lines
+ */
+std::vector<MemRef> readTrace(std::istream &is);
+
+/** Drain a generator into a vector (for recording). */
+std::vector<MemRef> collect(ReferenceStream &stream);
+
+/** Replays a fixed vector of references. */
+class TracePlayer : public ReferenceStream
+{
+  public:
+    explicit TracePlayer(std::vector<MemRef> refs,
+                         std::string trace_name = "trace")
+        : refs(std::move(refs)), traceName(std::move(trace_name))
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos >= refs.size())
+            return false;
+        ref = refs[pos++];
+        return true;
+    }
+
+    std::string name() const override { return traceName; }
+    void reset() override { pos = 0; }
+
+    const std::vector<MemRef> &all() const { return refs; }
+
+  private:
+    std::vector<MemRef> refs;
+    std::string traceName;
+    std::size_t pos = 0;
+};
+
+} // namespace mscp::workload
+
+#endif // MSCP_WORKLOAD_TRACE_HH

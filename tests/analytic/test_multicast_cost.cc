@@ -1,0 +1,229 @@
+/** @file Tests for the closed-form and series multicast costs. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/multicast_cost.hh"
+#include "sim/logging.hh"
+
+using namespace mscp;
+using namespace mscp::analytic;
+
+TEST(Cc1, ClosedFormEqualsSeries)
+{
+    // Eq. 2 is an exact reduction of the per-stage sum.
+    for (std::uint64_t N : {8ull, 64ull, 1024ull}) {
+        for (std::uint64_t M : {0ull, 20ull, 100ull}) {
+            for (std::uint64_t n = 1; n <= N; n <<= 2) {
+                EXPECT_DOUBLE_EQ(
+                    cc1Closed(static_cast<double>(n),
+                              static_cast<double>(N),
+                              static_cast<double>(M)),
+                    static_cast<double>(cc1Series(n, N, M)));
+            }
+        }
+    }
+}
+
+TEST(Cc2Worst, ClosedFormEqualsSeries)
+{
+    // Eq. 3 is likewise exact.
+    for (std::uint64_t N : {8ull, 64ull, 256ull, 1024ull}) {
+        for (std::uint64_t M : {0ull, 20ull, 40ull}) {
+            for (std::uint64_t n = 1; n <= N; n <<= 1) {
+                EXPECT_DOUBLE_EQ(
+                    cc2WorstClosed(static_cast<double>(n),
+                                   static_cast<double>(N),
+                                   static_cast<double>(M)),
+                    static_cast<double>(cc2WorstSeries(n, N, M)))
+                    << "N=" << N << " n=" << n << " M=" << M;
+            }
+        }
+    }
+}
+
+TEST(Cc2Clustered, ClosedFormEqualsSeries)
+{
+    // Eq. 6 reduction check.
+    struct C { std::uint64_t N, n1, n, M; };
+    for (auto [N, n1, n, M] : {C{1024, 128, 8, 40},
+                               C{1024, 128, 4, 20},
+                               C{256, 64, 16, 20},
+                               C{1024, 128, 128, 20}}) {
+        EXPECT_DOUBLE_EQ(
+            cc2ClusteredClosed(static_cast<double>(n),
+                               static_cast<double>(n1),
+                               static_cast<double>(N),
+                               static_cast<double>(M)),
+            static_cast<double>(cc2ClusteredSeries(n, n1, N, M)))
+            << "N=" << N << " n1=" << n1 << " n=" << n;
+    }
+}
+
+TEST(Cc2, WorstReducesToBestWhenClusterEqualsN)
+{
+    // With n1 = N the clustered worst case is the global worst case.
+    for (std::uint64_t n : {1ull, 4ull, 32ull, 256ull}) {
+        EXPECT_EQ(cc2ClusteredSeries(n, 1024, 1024, 20),
+                  cc2WorstSeries(n, 1024, 20));
+    }
+}
+
+TEST(Cc2, BestNoGreaterThanWorst)
+{
+    for (std::uint64_t N : {16ull, 256ull, 1024ull}) {
+        for (std::uint64_t n = 1; n <= N; n <<= 1) {
+            EXPECT_LE(cc2BestSeries(n, N, 20),
+                      cc2WorstSeries(n, N, 20));
+        }
+    }
+}
+
+TEST(Cc3, SeriesSpotValues)
+{
+    // Hand-computed from the per-stage table above eq. 5:
+    // N=1024 (m=10), n1=128 (l=7), M=20.
+    EXPECT_EQ(cc3Series(128, 1024, 20), 5708u);
+    // N=8, n1=2, M=0: stages 0..2 single path (6,4),(wait l=1):
+    // i=0..2: (0+6)+(0+4) for i=0,1... verified numerically below.
+    std::uint64_t m = 3, l = 1, M = 0;
+    std::uint64_t expect = 0;
+    for (std::uint64_t i = 0; i <= m - l; ++i)
+        expect += M + 2 * (m - i);
+    for (std::uint64_t i = m - l + 1; i <= m; ++i)
+        expect += (1ull << (i - (m - l))) * (M + 2 * (m - i));
+    EXPECT_EQ(cc3Series(2, 8, 0), expect);
+}
+
+TEST(Cc3, ClosedFormEqualsSeries)
+{
+    // The paper's intermediate sum above eq. 5 has a typo (constant
+    // l-1 instead of l-1-i), but the final closed form is an exact
+    // reduction of the per-stage table.
+    struct C { std::uint64_t N, n1, M; };
+    for (auto [N, n1, M] : {C{1024, 128, 20}, C{64, 16, 0},
+                            C{256, 256, 40}, C{8, 2, 100}}) {
+        EXPECT_DOUBLE_EQ(cc3Closed(static_cast<double>(n1),
+                                   static_cast<double>(N),
+                                   static_cast<double>(M)),
+                         static_cast<double>(cc3Series(n1, N, M)))
+            << "N=" << N << " n1=" << n1 << " M=" << M;
+    }
+}
+
+TEST(Cc4, IsTheMinimum)
+{
+    for (std::uint64_t n : {1ull, 4ull, 16ull, 64ull, 128ull}) {
+        std::uint64_t c4 = cc4Series(n, 128, 1024, 20);
+        EXPECT_LE(c4, cc1Series(n, 1024, 20));
+        EXPECT_LE(c4, cc2ClusteredSeries(n, 128, 1024, 20));
+        EXPECT_LE(c4, cc3Series(128, 1024, 20));
+        std::uint64_t lo = std::min({cc1Series(n, 1024, 20),
+                                     cc2ClusteredSeries(n, 128, 1024,
+                                                        20),
+                                     cc3Series(128, 1024, 20)});
+        EXPECT_EQ(c4, lo);
+    }
+}
+
+TEST(BreakEven, Scheme2EventuallyWins)
+{
+    // Paper claim: for N >= 4 there is an n <= N where scheme 2
+    // beats scheme 1.
+    for (std::uint64_t N : {4ull, 16ull, 64ull, 256ull, 1024ull}) {
+        for (std::uint64_t M : {0ull, 20ull, 40ull, 100ull}) {
+            std::uint64_t be = breakEvenScheme1Vs2(N, M);
+            EXPECT_GT(be, 0u) << "N=" << N << " M=" << M;
+            EXPECT_LE(be, N);
+        }
+    }
+}
+
+TEST(BreakEven, DecreasesWithMessageSize)
+{
+    // Paper claim: break-even decreases when M increases.
+    for (std::uint64_t N : {64ull, 256ull, 1024ull}) {
+        std::uint64_t prev = breakEvenScheme1Vs2(N, 0);
+        for (std::uint64_t M : {20ull, 40ull, 100ull, 400ull}) {
+            std::uint64_t be = breakEvenScheme1Vs2(N, M);
+            EXPECT_LE(be, prev) << "N=" << N << " M=" << M;
+            prev = be;
+        }
+    }
+}
+
+TEST(BreakEven, IncreasesWithCacheCount)
+{
+    // Paper claim: break-even increases when N increases.
+    for (std::uint64_t M : {0ull, 40ull, 100ull}) {
+        std::uint64_t prev = breakEvenScheme1Vs2(64, M);
+        for (std::uint64_t N : {128ull, 256ull, 512ull, 1024ull}) {
+            std::uint64_t be = breakEvenScheme1Vs2(N, M);
+            EXPECT_GE(be, prev) << "N=" << N << " M=" << M;
+            prev = be;
+        }
+    }
+}
+
+TEST(BreakEven, Scheme3EventuallyWinsInCluster)
+{
+    // Paper claim (from eq. 7): there exists n <= n1 where scheme 3
+    // beats scheme 2.
+    for (std::uint64_t N : {256ull, 1024ull, 2048ull}) {
+        std::uint64_t be = breakEvenScheme2Vs3(128, N, 20);
+        EXPECT_GT(be, 0u) << "N=" << N;
+        EXPECT_LE(be, 128u);
+    }
+}
+
+TEST(BreakEven, Scheme3ThresholdIncreasesWithM)
+{
+    std::uint64_t prev = breakEvenScheme2Vs3(128, 1024, 0);
+    for (std::uint64_t M : {20ull, 40ull, 60ull, 200ull}) {
+        std::uint64_t be = breakEvenScheme2Vs3(128, 1024, M);
+        if (be == 0) // scheme 3 never wins: treat as +infinity
+            be = 129;
+        EXPECT_GE(be, prev) << "M=" << M;
+        prev = be;
+    }
+}
+
+TEST(Crossover, MatchesBreakEvenNeighborhood)
+{
+    for (std::uint64_t N : {64ull, 256ull, 1024ull}) {
+        double x = crossoverScheme1Vs2(static_cast<double>(N), 20);
+        ASSERT_GT(x, 0.0);
+        std::uint64_t be = breakEvenScheme1Vs2(N, 20);
+        // The power-of-two break-even brackets the real crossover.
+        EXPECT_LE(x, static_cast<double>(be));
+        EXPECT_GT(2 * x, static_cast<double>(be));
+    }
+}
+
+TEST(CheapestScheme, FollowsTheFigure6Shape)
+{
+    // Small n -> scheme 1, moderate -> scheme 2, large -> scheme 3
+    // (N=1024, n1=128, M=20; Fig. 6 / Table 3 row M=20).
+    EXPECT_EQ(cheapestScheme(4, 128, 1024, 20),
+              BestScheme::Scheme1);
+    EXPECT_EQ(cheapestScheme(16, 128, 1024, 20),
+              BestScheme::Scheme2);
+    EXPECT_EQ(cheapestScheme(128, 128, 1024, 20),
+              BestScheme::Scheme3);
+}
+
+TEST(Series, RejectNonPowerOfTwo)
+{
+    EXPECT_THROW(cc1Series(4, 100, 20), PanicError);
+    EXPECT_THROW(cc2WorstSeries(3, 64, 20), PanicError);
+    EXPECT_THROW(cc2ClusteredSeries(4, 100, 1024, 20), PanicError);
+    EXPECT_THROW(cc3Series(3, 64, 20), PanicError);
+}
+
+TEST(Series, RejectOversizedSets)
+{
+    EXPECT_THROW(cc2WorstSeries(128, 64, 20), PanicError);
+    EXPECT_THROW(cc2ClusteredSeries(64, 32, 1024, 20), PanicError);
+    EXPECT_THROW(cc3Series(2048, 1024, 20), PanicError);
+}

@@ -1,0 +1,180 @@
+/** @file Tests for the Sec. 4 protocol cost models. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/multicast_cost.hh"
+#include "analytic/protocol_cost.hh"
+
+using namespace mscp::analytic;
+
+TEST(Normalized, NoCacheIsTwoMinusW)
+{
+    EXPECT_DOUBLE_EQ(normNoCache(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(normNoCache(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(normNoCache(1.0), 1.0);
+}
+
+TEST(Normalized, WriteOnceBound)
+{
+    // Eq. 10 bound: w(1-w)(n+2); peaks at w = 1/2.
+    EXPECT_DOUBLE_EQ(normWriteOnce(0.0, 16), 0.0);
+    EXPECT_DOUBLE_EQ(normWriteOnce(1.0, 16), 0.0);
+    EXPECT_DOUBLE_EQ(normWriteOnce(0.5, 16), 0.25 * 18);
+    for (double w = 0.05; w < 1.0; w += 0.05)
+        EXPECT_LE(normWriteOnce(w, 16), normWriteOnce(0.5, 16));
+}
+
+TEST(Normalized, DistWriteAndGlobalRead)
+{
+    EXPECT_DOUBLE_EQ(normDistWrite(0.25, 8), 2.0);
+    EXPECT_DOUBLE_EQ(normGlobalRead(0.25), 1.5);
+    EXPECT_DOUBLE_EQ(normGlobalRead(1.0), 0.0);
+}
+
+TEST(TwoMode, SwitchesAtThreshold)
+{
+    double n = 8;
+    double w1 = wThreshold(n); // 2/(n+2) = 0.2
+    EXPECT_DOUBLE_EQ(w1, 0.2);
+    // Below threshold DW is cheaper, above GR is cheaper.
+    EXPECT_DOUBLE_EQ(normTwoMode(w1 / 2, n),
+                     normDistWrite(w1 / 2, n));
+    EXPECT_DOUBLE_EQ(normTwoMode(2 * w1, n),
+                     normGlobalRead(2 * w1));
+    // At the threshold both modes cost the same.
+    EXPECT_NEAR(normDistWrite(w1, n), normGlobalRead(w1), 1e-12);
+}
+
+TEST(TwoMode, AlwaysBelowNoCache)
+{
+    // The paper's headline claim: with the threshold policy the
+    // per-reference cost stays below the no-cache cost for every w.
+    for (double n : {2.0, 4.0, 16.0, 64.0, 1024.0}) {
+        for (double w = 0.0; w <= 1.0; w += 0.01) {
+            EXPECT_LT(normTwoMode(w, n), normNoCache(w) + 1e-12)
+                << "n=" << n << " w=" << w;
+        }
+    }
+}
+
+TEST(TwoMode, UpperBoundIs2nOverNPlus2)
+{
+    for (double n : {4.0, 8.0, 32.0}) {
+        double peak = 0;
+        for (double w = 0.0; w <= 1.0; w += 0.001)
+            peak = std::max(peak, normTwoMode(w, n));
+        // Grid resolution bounds the error by n * step / 2.
+        EXPECT_NEAR(peak, 2 * n / (n + 2), n * 0.001);
+    }
+}
+
+TEST(TwoMode, NeverAboveWriteOnceAtItsPeakRegion)
+{
+    // Second paper claim: two-mode is no worse than write-once's
+    // bound wherever write-once exceeds the two-mode cap.
+    for (double n : {4.0, 8.0, 16.0, 64.0}) {
+        for (double w = 0.0; w <= 1.0; w += 0.01) {
+            double cap = 2 * n / (n + 2);
+            double wo = normWriteOnce(w, n);
+            if (wo > cap) {
+                EXPECT_LT(normTwoMode(w, n), wo)
+                    << "n=" << n << " w=" << w;
+            }
+        }
+    }
+}
+
+TEST(Absolute, ScaleWithTheUnitCost)
+{
+    // Absolute costs equal normalized costs times CC1(n=1).
+    std::uint64_t N = 64, M = 20;
+    double unit = static_cast<double>(cc1Series(1, N, M));
+    EXPECT_DOUBLE_EQ(absNoCache(0.3, N, M), normNoCache(0.3) * unit);
+    EXPECT_DOUBLE_EQ(absGlobalRead(0.3, N, M),
+                     normGlobalRead(0.3) * unit);
+}
+
+TEST(Absolute, DistWriteUsesCombinedMulticast)
+{
+    std::uint64_t N = 1024, n1 = 128, n = 16, M = 20;
+    double expect = 0.4 * static_cast<double>(
+        cc4Series(n, n1, N, M));
+    EXPECT_DOUBLE_EQ(absDistWrite(0.4, n, n1, N, M), expect);
+}
+
+TEST(Absolute, TwoModeIsTheMinimum)
+{
+    std::uint64_t N = 256, n1 = 64, n = 8, M = 20;
+    for (double w = 0.0; w <= 1.0; w += 0.05) {
+        double tm = absTwoMode(w, n, n1, N, M);
+        EXPECT_LE(tm, absDistWrite(w, n, n1, N, M));
+        EXPECT_LE(tm, absGlobalRead(w, N, M));
+    }
+}
+
+TEST(StateMemory, FullMapGrowsWithNM)
+{
+    // O(NM): doubling either factor roughly doubles the size.
+    auto s1 = stateBitsFullMap(64, 1 << 20);
+    auto s2 = stateBitsFullMap(128, 1 << 20);
+    auto s3 = stateBitsFullMap(64, 1 << 21);
+    EXPECT_GT(s2, s1);
+    EXPECT_NEAR(static_cast<double>(s3) / static_cast<double>(s1),
+                2.0, 0.01);
+}
+
+TEST(StateMemory, DistributedIsSmallerForLargeMemories)
+{
+    // The paper's motivation: O(C(N+logN) + M logN) << O(NM) when
+    // main memory is much larger than the caches.
+    std::uint64_t N = 1024;
+    std::uint64_t cache_blocks = 1 << 10;  // 1k blocks per cache
+    std::uint64_t mem_blocks = 1 << 24;    // 16M blocks of memory
+    EXPECT_LT(stateBitsDistributed(N, cache_blocks, mem_blocks),
+              stateBitsFullMap(N, mem_blocks));
+}
+
+TEST(StateMemory, SplitCacheReducesDistributedState)
+{
+    // Sec. 5: supporting shared data in only part of the cache
+    // shrinks the state memory; with the whole cache shared it
+    // degenerates to the plain distributed size.
+    std::uint64_t N = 256, C = 1 << 12, mem = 1 << 22;
+    EXPECT_EQ(stateBitsSplitCache(N, C, 0, mem),
+              stateBitsDistributed(N, C, mem));
+    auto split = stateBitsSplitCache(N, C / 8, C - C / 8, mem);
+    EXPECT_LT(split, stateBitsDistributed(N, C, mem));
+    // Monotone in the shared fraction.
+    auto more_shared = stateBitsSplitCache(N, C / 4, C - C / 4,
+                                           mem);
+    EXPECT_GT(more_shared, split);
+}
+
+TEST(StateMemory, AssociativeStateIsSmallerThanFullVectors)
+{
+    // Sec. 5: present vectors only matter at owners, so a small
+    // tagged table beats a vector per directory entry.
+    std::uint64_t N = 1024, C = 1 << 12, mem = 1 << 22;
+    std::uint64_t tag = 32;
+    auto assoc = stateBitsAssociative(N, C, C / 16, tag, mem);
+    EXPECT_LT(assoc, stateBitsDistributed(N, C, mem));
+    // With one state entry per cache block it must cost more than
+    // the inline organization (it adds tags).
+    EXPECT_GT(stateBitsAssociative(N, C, C, tag, mem),
+              stateBitsDistributed(N, C, mem));
+}
+
+TEST(StateMemory, RatioImprovesWithMemorySize)
+{
+    std::uint64_t N = 256, C = 1 << 10;
+    double prev = 0;
+    for (std::uint64_t M = 1 << 16; M <= (1ull << 26); M <<= 2) {
+        double ratio =
+            static_cast<double>(stateBitsFullMap(N, M)) /
+            static_cast<double>(stateBitsDistributed(N, C, M));
+        EXPECT_GT(ratio, prev);
+        prev = ratio;
+    }
+}

@@ -1,0 +1,180 @@
+/** @file Tests for the cache substrate: states, geometry, array. */
+
+#include <gtest/gtest.h>
+
+#include "cache/block_state.hh"
+#include "cache/cache_array.hh"
+#include "cache/geometry.hh"
+#include "sim/logging.hh"
+
+using namespace mscp;
+using namespace mscp::cache;
+
+TEST(BlockState, Predicates)
+{
+    EXPECT_FALSE(isValid(State::Invalid));
+    EXPECT_TRUE(isValid(State::UnOwned));
+    EXPECT_FALSE(isOwned(State::UnOwned));
+    EXPECT_TRUE(isOwned(State::OwnedExclDW));
+    EXPECT_TRUE(isOwnedExclusive(State::OwnedExclGR));
+    EXPECT_FALSE(isOwnedExclusive(State::OwnedNonExclGR));
+    EXPECT_TRUE(isOwnedNonExclusive(State::OwnedNonExclDW));
+}
+
+TEST(BlockState, ModeEncoding)
+{
+    EXPECT_EQ(modeOf(State::OwnedExclDW), Mode::DistributedWrite);
+    EXPECT_EQ(modeOf(State::OwnedNonExclDW), Mode::DistributedWrite);
+    EXPECT_EQ(modeOf(State::OwnedExclGR), Mode::GlobalRead);
+    EXPECT_EQ(modeOf(State::OwnedNonExclGR), Mode::GlobalRead);
+    EXPECT_EQ(ownedState(Mode::DistributedWrite, true),
+              State::OwnedExclDW);
+    EXPECT_EQ(ownedState(Mode::GlobalRead, false),
+              State::OwnedNonExclGR);
+}
+
+TEST(BlockState, Table1BitEncoding)
+{
+    StateField f(8);
+    // Invalid: V=0.
+    EXPECT_EQ(f.encodeBits(), 0u);
+    // UnOwned: V=1, O=0.
+    f.state = State::UnOwned;
+    EXPECT_EQ(f.encodeBits(), 0b0001u);
+    // Owned exclusively distributed write: V,O,DW.
+    f.state = State::OwnedExclDW;
+    EXPECT_EQ(f.encodeBits(), 0b1011u);
+    // Modified owned global read: V,O,M.
+    f.state = State::OwnedNonExclGR;
+    f.modified = true;
+    EXPECT_EQ(f.encodeBits(), 0b0111u);
+}
+
+TEST(BlockState, WireBitsMatchThePaper)
+{
+    // V+O+M+DW + N present flags + log2 N OWNER bits.
+    EXPECT_EQ(StateField::wireBits(64), 4u + 64u + 6u);
+    EXPECT_EQ(StateField::wireBits(1024), 4u + 1024u + 10u);
+}
+
+TEST(BlockState, ToStringIsInformative)
+{
+    StateField f(4);
+    f.state = State::OwnedNonExclDW;
+    f.present.set(1);
+    f.present.set(3);
+    f.modified = true;
+    auto s = f.toString();
+    EXPECT_NE(s.find("OwnedNonExclDW"), std::string::npos);
+    EXPECT_NE(s.find("{1,3}"), std::string::npos);
+}
+
+TEST(Geometry, AddressMath)
+{
+    Geometry g{8, 16, 2};
+    EXPECT_EQ(g.blockOf(0), 0u);
+    EXPECT_EQ(g.blockOf(7), 0u);
+    EXPECT_EQ(g.blockOf(8), 1u);
+    EXPECT_EQ(g.offsetOf(13), 5u);
+    EXPECT_EQ(g.baseOf(3), 24u);
+    EXPECT_EQ(g.setOf(16), 0u);
+    EXPECT_EQ(g.setOf(17), 1u);
+    EXPECT_EQ(g.capacityBlocks(), 32u);
+}
+
+TEST(Geometry, RejectsBadShapes)
+{
+    Geometry g{3, 16, 2};
+    EXPECT_THROW(g.check(), FatalError);
+    Geometry g2{8, 12, 2};
+    EXPECT_THROW(g2.check(), FatalError);
+    Geometry g3{8, 16, 0};
+    EXPECT_THROW(g3.check(), FatalError);
+}
+
+TEST(CacheArray, FindAfterInstall)
+{
+    CacheArray ca(Geometry{4, 4, 2}, 8);
+    EXPECT_EQ(ca.find(5), nullptr);
+    Entry *v = ca.pickVictim(5);
+    ASSERT_NE(v, nullptr);
+    EXPECT_FALSE(v->occupied);
+    ca.install(*v, 5);
+    Entry *e = ca.find(5);
+    ASSERT_EQ(e, v);
+    EXPECT_EQ(e->block, 5u);
+    EXPECT_EQ(e->field.state, State::Invalid);
+    EXPECT_EQ(e->data.size(), 4u);
+}
+
+TEST(CacheArray, VictimPrefersFreeWay)
+{
+    CacheArray ca(Geometry{4, 2, 2}, 8);
+    Entry *a = ca.pickVictim(0);
+    ca.install(*a, 0);
+    Entry *b = ca.pickVictim(2); // same set (2 % 2 == 0)
+    EXPECT_NE(b, a);
+    EXPECT_FALSE(b->occupied);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed)
+{
+    CacheArray ca(Geometry{4, 1, 2}, 8);
+    Entry *a = ca.pickVictim(0);
+    ca.install(*a, 0);
+    Entry *b = ca.pickVictim(1);
+    ca.install(*b, 1);
+    // Touch block 0 so block 1 is LRU.
+    ca.touch(*ca.find(0));
+    Entry *victim = ca.pickVictim(2);
+    EXPECT_EQ(victim, b);
+    // Touch block 1 instead; now block 0 is LRU.
+    ca.touch(*ca.find(1));
+    ca.touch(*ca.find(1));
+    victim = ca.pickVictim(2);
+    EXPECT_EQ(victim, a);
+}
+
+TEST(CacheArray, EvictClearsEntry)
+{
+    CacheArray ca(Geometry{4, 4, 2}, 8);
+    Entry *v = ca.pickVictim(3);
+    ca.install(*v, 3);
+    v->field.state = State::OwnedExclGR;
+    v->data[2] = 42;
+    ca.evict(*v);
+    EXPECT_FALSE(v->occupied);
+    EXPECT_EQ(ca.find(3), nullptr);
+    EXPECT_EQ(ca.occupiedCount(), 0u);
+}
+
+TEST(CacheArray, InstallOverOccupiedPanics)
+{
+    CacheArray ca(Geometry{4, 4, 2}, 8);
+    Entry *v = ca.pickVictim(3);
+    ca.install(*v, 3);
+    EXPECT_THROW(ca.install(*v, 7), PanicError);
+}
+
+TEST(CacheArray, OccupiedEntriesEnumerates)
+{
+    CacheArray ca(Geometry{4, 4, 4}, 8);
+    for (BlockId b : {1, 2, 9}) {
+        Entry *v = ca.pickVictim(b);
+        ca.install(*v, b);
+    }
+    EXPECT_EQ(ca.occupiedCount(), 3u);
+    EXPECT_EQ(ca.occupiedEntries().size(), 3u);
+}
+
+TEST(CacheArray, SetsAreIsolated)
+{
+    // Blocks mapping to different sets never evict each other.
+    CacheArray ca(Geometry{4, 4, 1}, 8);
+    for (BlockId b = 0; b < 4; ++b) {
+        Entry *v = ca.pickVictim(b);
+        EXPECT_FALSE(v->occupied) << "block " << b;
+        ca.install(*v, b);
+    }
+    EXPECT_EQ(ca.occupiedCount(), 4u);
+}

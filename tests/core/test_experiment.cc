@@ -1,0 +1,173 @@
+/** @file Tests for the table/figure generators (paper evaluation). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+
+using namespace mscp;
+using namespace mscp::core;
+using analytic::BestScheme;
+
+TEST(Fig5, CurvesCrossOnce)
+{
+    auto s = fig5Series(1024, 20);
+    ASSERT_FALSE(s.empty());
+    // Scheme 1 starts cheaper, scheme 2 wins for large n, and the
+    // sign of the difference changes exactly once.
+    EXPECT_LT(s.front().cc1, s.front().cc2Worst);
+    EXPECT_GT(s.back().cc1, s.back().cc2Worst);
+    int sign_changes = 0;
+    bool prev = s.front().cc1 < s.front().cc2Worst;
+    for (const auto &p : s) {
+        bool cur = p.cc1 < p.cc2Worst;
+        if (cur != prev)
+            ++sign_changes;
+        prev = cur;
+    }
+    EXPECT_EQ(sign_changes, 1);
+}
+
+TEST(Fig5, Scheme1IsLinearInN)
+{
+    auto s = fig5Series(1024, 20);
+    for (std::size_t i = 1; i < s.size(); ++i)
+        EXPECT_EQ(s[i].cc1, 2 * s[i - 1].cc1);
+}
+
+TEST(Table2, ShapesMatchThePaperClaims)
+{
+    std::vector<std::uint64_t> ms{0, 40, 100};
+    auto rows = table2(ms);
+    ASSERT_EQ(rows.size(), 5u);
+    // Break-even decreases along every row (growing M)...
+    for (const auto &row : rows) {
+        for (std::size_t j = 1; j < row.breakEven.size(); ++j)
+            EXPECT_LE(row.breakEven[j], row.breakEven[j - 1]);
+    }
+    // ...and increases down every column (growing N).
+    for (std::size_t j = 0; j < ms.size(); ++j) {
+        for (std::size_t i = 1; i < rows.size(); ++i)
+            EXPECT_GE(rows[i].breakEven[j],
+                      rows[i - 1].breakEven[j]);
+    }
+}
+
+TEST(Fig6, SchemeOrderingSmallModerateLarge)
+{
+    auto s = fig6Series(1024, 128, 20);
+    // Small n: scheme 1 cheapest; large n: scheme 3 cheapest.
+    EXPECT_LT(s.front().cc1, s.front().cc2Clustered);
+    EXPECT_LT(s.front().cc1, s.front().cc3);
+    EXPECT_LT(s.back().cc3, s.back().cc1);
+    EXPECT_LT(s.back().cc3, s.back().cc2Clustered);
+    // Scheme 2 is cheapest somewhere in the middle (Fig. 6 shape).
+    bool scheme2_wins_somewhere = false;
+    for (const auto &p : s) {
+        if (p.cc2Clustered < p.cc1 && p.cc2Clustered < p.cc3)
+            scheme2_wins_somewhere = true;
+    }
+    EXPECT_TRUE(scheme2_wins_somewhere);
+    // Scheme 3's cost does not depend on n.
+    for (const auto &p : s)
+        EXPECT_EQ(p.cc3, s.front().cc3);
+}
+
+TEST(Table3, MatchesThePaperAtKeyCells)
+{
+    auto rows = table3(); // M in {0,20,40,60}, n in {4,8,16,64,128}
+    ASSERT_EQ(rows.size(), 4u);
+    // Paper Table 3 spot checks that are robust to the break-even
+    // definition: M=0: n=4 -> 1, n=16..128 -> 3.
+    EXPECT_EQ(rows[0].best[0], BestScheme::Scheme1);
+    EXPECT_EQ(rows[0].best[2], BestScheme::Scheme3);
+    EXPECT_EQ(rows[0].best[4], BestScheme::Scheme3);
+    // M=20: n=4 -> 1, n=16 -> 2, n=128 -> 3.
+    EXPECT_EQ(rows[1].best[0], BestScheme::Scheme1);
+    EXPECT_EQ(rows[1].best[2], BestScheme::Scheme2);
+    EXPECT_EQ(rows[1].best[4], BestScheme::Scheme3);
+}
+
+TEST(Table3, SchemeNumberGrowsWithN)
+{
+    // Along each row the best scheme index never decreases: the
+    // small/moderate/large-n regimes of the paper's Fig. 6.
+    for (const auto &row : table3()) {
+        for (std::size_t j = 1; j < row.best.size(); ++j)
+            EXPECT_GE(static_cast<int>(row.best[j]),
+                      static_cast<int>(row.best[j - 1]))
+                << "M=" << row.rowParam << " col " << j;
+    }
+}
+
+TEST(Table4, LargerNetworksFavorScheme3Earlier)
+{
+    // Paper claim under eq. 7: break-even between 2 and 3 decreases
+    // when N grows, so the first column where scheme 3 appears
+    // moves left (non-strictly) down the table.
+    auto rows = table4();
+    auto first3 = [](const CheapestRow &r) {
+        for (std::size_t j = 0; j < r.best.size(); ++j)
+            if (r.best[j] == BestScheme::Scheme3)
+                return j;
+        return r.best.size();
+    };
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LE(first3(rows[i]), first3(rows[i - 1]));
+}
+
+TEST(Fig8, TwoModeStaysUnderNoCacheEverywhere)
+{
+    auto s = fig8Series({4, 8, 16, 32, 64}, 100);
+    for (const auto &p : s) {
+        for (double tm : p.twoMode)
+            EXPECT_LT(tm, p.noCache + 1e-12) << "w=" << p.w;
+    }
+}
+
+TEST(Fig8, WriteOncePeaksMidrangeAndExceedsTwoMode)
+{
+    auto s = fig8Series({16}, 100);
+    double wo_peak = 0, tm_peak = 0;
+    for (const auto &p : s) {
+        wo_peak = std::max(wo_peak, p.writeOnce[0]);
+        tm_peak = std::max(tm_peak, p.twoMode[0]);
+    }
+    // Write-once peaks at w(1-w)(n+2) = 4.5 for n=16; the two-mode
+    // cap is 2n/(n+2) = 16/9.
+    EXPECT_NEAR(wo_peak, 4.5, 0.01);
+    EXPECT_NEAR(tm_peak, 16.0 / 9.0, 0.05);
+    EXPECT_GT(wo_peak, tm_peak);
+}
+
+TEST(Fig8, EndpointsAreExact)
+{
+    auto s = fig8Series({8}, 10);
+    const auto &first = s.front();
+    const auto &last = s.back();
+    EXPECT_DOUBLE_EQ(first.w, 0.0);
+    EXPECT_DOUBLE_EQ(first.noCache, 2.0);
+    EXPECT_DOUBLE_EQ(first.writeOnce[0], 0.0);
+    EXPECT_DOUBLE_EQ(first.twoMode[0], 0.0);
+    EXPECT_DOUBLE_EQ(last.w, 1.0);
+    EXPECT_DOUBLE_EQ(last.noCache, 1.0);
+    EXPECT_DOUBLE_EQ(last.writeOnce[0], 0.0);
+    EXPECT_DOUBLE_EQ(last.twoMode[0], 0.0);
+}
+
+TEST(Printers, ProduceTabularOutput)
+{
+    std::ostringstream os;
+    printFig5(os, fig5Series(64, 20));
+    printTable2(os, {0, 40, 100}, table2());
+    printFig6(os, fig6Series(256, 64, 20));
+    printCheapestTable(os, "M", {4, 8, 16, 64, 128}, table3());
+    printCheapestTable(os, "N", {8, 16, 32, 64, 128}, table4());
+    printFig8(os, {4, 8}, fig8Series({4, 8}, 10));
+    auto out = os.str();
+    EXPECT_NE(out.find("Figure 5"), std::string::npos);
+    EXPECT_NE(out.find("Table 2"), std::string::npos);
+    EXPECT_NE(out.find("Figure 8"), std::string::npos);
+    EXPECT_NE(out.find("scheme2'"), std::string::npos);
+}

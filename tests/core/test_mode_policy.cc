@@ -1,0 +1,145 @@
+/** @file Tests for the Sec. 5 mode policies. */
+
+#include <gtest/gtest.h>
+
+#include "core/mode_policy.hh"
+#include "net/omega_network.hh"
+#include "proto/checker.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+
+using namespace mscp;
+using namespace mscp::core;
+using cache::Mode;
+
+namespace
+{
+
+struct Rig
+{
+    Rig()
+        : net(16)
+    {
+        proto::StenstromParams p;
+        p.geometry = cache::Geometry{4, 8, 2};
+        proto = std::make_unique<proto::StenstromProtocol>(net, p);
+    }
+
+    void
+    drive(workload::ReferenceStream &w, ModePolicy &policy)
+    {
+        workload::MemRef ref;
+        while (w.next(ref)) {
+            if (ref.isWrite)
+                proto->write(ref.cpu, ref.addr, ref.value);
+            else
+                proto->read(ref.cpu, ref.addr);
+            policy.afterRef(*proto, ref);
+        }
+    }
+
+    net::OmegaNetwork net;
+    std::unique_ptr<proto::StenstromProtocol> proto;
+};
+
+workload::SharedBlockParams
+sharedParams(double w, unsigned tasks, std::uint64_t refs)
+{
+    workload::SharedBlockParams p;
+    p.placement = workload::adjacentPlacement(tasks);
+    p.writeFraction = w;
+    p.numBlocks = 1;
+    p.blockWords = 4;
+    p.numRefs = refs;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(StaticPolicy, PinsBlocksToDistributedWrite)
+{
+    Rig rig;
+    StaticModePolicy policy(Mode::DistributedWrite);
+    auto wp = sharedParams(0.3, 4, 500);
+    workload::SharedBlockWorkload w(wp);
+    rig.drive(w, policy);
+    Mode m;
+    ASSERT_TRUE(rig.proto->blockMode(0, m));
+    EXPECT_EQ(m, Mode::DistributedWrite);
+    EXPECT_GE(policy.switchesIssued(), 1u);
+}
+
+TEST(StaticPolicy, PinsBlocksToGlobalRead)
+{
+    Rig rig;
+    StaticModePolicy policy(Mode::GlobalRead);
+    auto wp = sharedParams(0.3, 4, 500);
+    workload::SharedBlockWorkload w(wp);
+    rig.drive(w, policy);
+    Mode m;
+    ASSERT_TRUE(rig.proto->blockMode(0, m));
+    EXPECT_EQ(m, Mode::GlobalRead);
+    // Blocks start in GR (engine default), so no switch is needed.
+    EXPECT_EQ(policy.switchesIssued(), 0u);
+}
+
+TEST(AdaptivePolicy, PicksDistributedWriteForLowW)
+{
+    // w = 0.05 with n ~ 4 sharers: w < w1 = 2/(n+2) -> DW.
+    Rig rig;
+    AdaptiveModePolicy policy(32);
+    auto wp = sharedParams(0.05, 4, 3000);
+    workload::SharedBlockWorkload w(wp);
+    rig.drive(w, policy);
+    Mode m;
+    ASSERT_TRUE(rig.proto->blockMode(0, m));
+    EXPECT_EQ(m, Mode::DistributedWrite);
+    EXPECT_GT(policy.decisions(), 0u);
+}
+
+TEST(AdaptivePolicy, PicksGlobalReadForHighW)
+{
+    Rig rig;
+    AdaptiveModePolicy policy(32);
+    auto wp = sharedParams(0.8, 4, 3000);
+    workload::SharedBlockWorkload w(wp);
+    rig.drive(w, policy);
+    Mode m;
+    ASSERT_TRUE(rig.proto->blockMode(0, m));
+    EXPECT_EQ(m, Mode::GlobalRead);
+}
+
+TEST(AdaptivePolicy, KeepsSystemCoherent)
+{
+    Rig rig;
+    AdaptiveModePolicy policy(16);
+    auto wp = sharedParams(0.25, 8, 4000);
+    workload::SharedBlockWorkload w(wp);
+    rig.drive(w, policy);
+    EXPECT_EQ(rig.proto->valueErrors(), 0u);
+    auto errs = proto::checkInvariants(*rig.proto);
+    EXPECT_TRUE(errs.empty()) << errs.front();
+}
+
+TEST(AdaptivePolicy, BeatsTheWrongStaticChoiceOnTraffic)
+{
+    // Low write fraction: static GR pays two network trips per
+    // remote read; adaptive settles into DW and reads become hits.
+    auto run = [](bool adaptive_policy, double wfrac) {
+        Rig rig;
+        std::unique_ptr<ModePolicy> policy;
+        if (adaptive_policy)
+            policy = std::make_unique<AdaptiveModePolicy>(16);
+        else
+            policy = std::make_unique<StaticModePolicy>(
+                Mode::GlobalRead);
+        auto wp = sharedParams(wfrac, 8, 6000);
+        workload::SharedBlockWorkload w(wp);
+        rig.drive(w, *policy);
+        EXPECT_EQ(rig.proto->valueErrors(), 0u);
+        return rig.net.linkStats().totalBits();
+    };
+    Bits adaptive = run(true, 0.02);
+    Bits static_gr = run(false, 0.02);
+    EXPECT_LT(adaptive, static_gr);
+}

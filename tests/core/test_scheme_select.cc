@@ -1,0 +1,109 @@
+/** @file Tests for the break-even scheme-selection registers. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/multicast_cost.hh"
+#include "core/scheme_select.hh"
+#include "net/omega_network.hh"
+#include "sim/random.hh"
+
+using namespace mscp;
+using namespace mscp::core;
+using namespace mscp::analytic;
+
+TEST(SchemeRegisters, ComputesOrderedThresholds)
+{
+    auto regs = SchemeRegisters::compute(1024, 128, 20);
+    EXPECT_GT(regs.breakEven12, 0u);
+    EXPECT_GT(regs.breakEven23, 0u);
+    // Small n -> 1, then 2, then 3 (Fig. 6 ordering).
+    EXPECT_LT(regs.breakEven12, regs.breakEven23);
+}
+
+TEST(SchemeRegisters, ChooseFollowsThresholds)
+{
+    SchemeRegisters regs;
+    regs.breakEven12 = 8;
+    regs.breakEven23 = 64;
+    EXPECT_EQ(regs.choose(1), net::Scheme::Unicasts);
+    EXPECT_EQ(regs.choose(7), net::Scheme::Unicasts);
+    EXPECT_EQ(regs.choose(8), net::Scheme::VectorRouting);
+    EXPECT_EQ(regs.choose(63), net::Scheme::VectorRouting);
+    EXPECT_EQ(regs.choose(64), net::Scheme::BroadcastTag);
+    EXPECT_EQ(regs.choose(1000), net::Scheme::BroadcastTag);
+}
+
+TEST(SchemeRegisters, ZeroThresholdsDisableSchemes)
+{
+    SchemeRegisters regs; // both zero
+    EXPECT_EQ(regs.choose(1000), net::Scheme::Unicasts);
+    regs.breakEven12 = 4;
+    EXPECT_EQ(regs.choose(1000), net::Scheme::VectorRouting);
+}
+
+TEST(SchemeRegisters, MatchesCheapestSchemeAtRegisterPoints)
+{
+    // At every power-of-two n the register decision must match the
+    // exact argmin (it is computed from the same series).
+    std::uint64_t N = 1024, n1 = 128, M = 20;
+    auto regs = SchemeRegisters::compute(N, n1, M);
+    for (std::uint64_t n = 1; n <= n1; n <<= 1) {
+        auto reg_choice = regs.choose(static_cast<unsigned>(n));
+        auto best = cheapestScheme(n, n1, N, M);
+        // The register policy is a monotone approximation of the
+        // argmin; its cost penalty must be zero at the thresholds.
+        std::uint64_t costs[3] = {
+            cc1Series(n, N, M),
+            cc2ClusteredSeries(n, n1, N, M),
+            cc3Series(n1, N, M),
+        };
+        auto cost_of = [&](net::Scheme s) {
+            switch (s) {
+              case net::Scheme::Unicasts: return costs[0];
+              case net::Scheme::VectorRouting: return costs[1];
+              case net::Scheme::BroadcastTag: return costs[2];
+              default: return costs[0];
+            }
+        };
+        std::uint64_t best_cost = costs[static_cast<int>(best) - 1];
+        // Allow the register policy a bounded penalty (it uses two
+        // thresholds, not a full argmin table).
+        EXPECT_LE(cost_of(reg_choice), 2 * best_cost)
+            << "n=" << n;
+    }
+}
+
+TEST(SchemeRegisters, RegisterChoiceNearOracleOnRandomClusters)
+{
+    // Compare the register policy against the per-multicast oracle
+    // (combined scheme) on random destination subsets of a cluster.
+    unsigned N = 256, n1 = 64;
+    Bits M = 20;
+    auto regs = SchemeRegisters::compute(N, n1, M);
+    Random rng(3);
+
+    Bits reg_total = 0, oracle_total = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        auto k = static_cast<std::uint32_t>(rng.uniform(1, n1));
+        auto set32 = rng.sampleWithoutReplacement(n1, k);
+        std::vector<NodeId> dests(set32.begin(), set32.end());
+        NodeId src = static_cast<NodeId>(rng.uniform(0, N - 1));
+
+        net::OmegaNetwork net(N);
+        auto r = net.multicast(regs.choose(k), src, dests, M);
+        reg_total += r.totalBits;
+
+        net::OmegaNetwork net2(N);
+        auto o = net2.multicastCombined(src, dests, M);
+        oracle_total += o.totalBits;
+    }
+    EXPECT_GE(reg_total, oracle_total);
+    // The two-threshold hardware stays within 2x of the oracle.
+    EXPECT_LE(reg_total, 2 * oracle_total);
+}
+
+TEST(SchemeRegisters, RejectsBadParameters)
+{
+    EXPECT_THROW(SchemeRegisters::compute(100, 10, 20), FatalError);
+    EXPECT_THROW(SchemeRegisters::compute(64, 128, 20), FatalError);
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Cross-module integration tests: full workloads through complete
+ * systems, protocol-vs-protocol traffic comparisons, and the
+ * simulation-level counterpart of the paper's Fig. 8 claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "net/omega_network.hh"
+#include "proto/checker.hh"
+#include "proto/dragon.hh"
+#include "proto/full_map.hh"
+#include "proto/no_cache.hh"
+#include "proto/write_once.hh"
+#include "workload/matrix.hh"
+#include "workload/patterns.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+#include "workload/trace.hh"
+
+using namespace mscp;
+using namespace mscp::core;
+
+namespace
+{
+
+SystemConfig
+baseConfig(unsigned ports = 16)
+{
+    SystemConfig cfg;
+    cfg.numPorts = ports;
+    cfg.geometry = cache::Geometry{4, 16, 2};
+    return cfg;
+}
+
+workload::SharedBlockParams
+sharedParams(double w, unsigned tasks, std::uint64_t refs,
+             std::uint64_t seed = 1)
+{
+    workload::SharedBlockParams p;
+    p.placement = workload::adjacentPlacement(tasks);
+    p.writeFraction = w;
+    p.numBlocks = 1;
+    p.blockWords = 4;
+    // Home the shared block on port 15, outside the task cluster:
+    // the paper's cost model assumes memory is across the network.
+    p.baseAddr = 15 * 4;
+    p.numRefs = refs;
+    p.seed = seed;
+    return p;
+}
+
+/** Per-reference traffic of a Stenstrom system under a policy. */
+double
+stenstromBitsPerRef(PolicyKind policy, double wfrac,
+                    unsigned tasks, std::uint64_t refs)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.policy = policy;
+    cfg.adaptWindow = 16;
+    System sys(cfg);
+    workload::SharedBlockWorkload w(sharedParams(wfrac, tasks,
+                                                 refs));
+    auto res = sys.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    return static_cast<double>(res.networkBits) /
+        static_cast<double>(res.refs);
+}
+
+} // anonymous namespace
+
+TEST(Integration, MatrixWorkloadNeverChangesOwnership)
+{
+    // The paper's Sec. 5 claim: one writer per block means
+    // ownership never moves after the first acquisition.
+    SystemConfig cfg = baseConfig();
+    cfg.policy = PolicyKind::ForceDW;
+    System sys(cfg);
+
+    workload::MatrixParams mp;
+    mp.placement = workload::adjacentPlacement(4);
+    mp.rows = 8;
+    mp.wordsPerRow = 4; // = one block per row
+    mp.sweeps = 3;
+    workload::MatrixWorkload w(mp);
+
+    auto res = sys.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    // Each row block is acquired once by its writer; boundary
+    // reads never steal ownership.
+    const auto &c = sys.protocol().counters();
+    EXPECT_EQ(c.writeHitUnOwned, 0u);
+    auto errs = proto::checkInvariants(sys.protocol());
+    EXPECT_TRUE(errs.empty()) << errs.front();
+}
+
+TEST(Integration, MigratorySharingMovesOwnershipEveryRound)
+{
+    SystemConfig cfg = baseConfig();
+    System sys(cfg);
+    workload::MigratoryParams mp;
+    mp.placement = workload::adjacentPlacement(4);
+    mp.numBlocks = 1;
+    mp.blockWords = 4;
+    mp.rounds = 12;
+    workload::MigratoryWorkload w(mp);
+    auto res = sys.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    // Every round after the first moves ownership once.
+    EXPECT_GE(sys.protocol().counters().ownershipTransfers, 11u);
+}
+
+TEST(Integration, TwoModeMatchesTheBetterStaticMode)
+{
+    // Simulation counterpart of Fig. 8: the adaptive two-mode
+    // system tracks min(DW, GR) across the w range.
+    for (double w : {0.02, 0.3, 0.9}) {
+        double dw = stenstromBitsPerRef(PolicyKind::ForceDW, w, 8,
+                                        6000);
+        double gr = stenstromBitsPerRef(PolicyKind::ForceGR, w, 8,
+                                        6000);
+        double ad = stenstromBitsPerRef(PolicyKind::Adaptive, w, 8,
+                                        6000);
+        // Within 30% of the better static mode (the adaptive run
+        // pays for its learning window and mode switches).
+        EXPECT_LE(ad, 1.3 * std::min(dw, gr)) << "w=" << w;
+    }
+}
+
+TEST(Integration, StenstromBeatsNoCacheEverywhere)
+{
+    // The paper's headline: the two-mode protocol keeps traffic
+    // below the no-cache system at every write fraction.
+    for (double wfrac : {0.05, 0.5, 0.95}) {
+        double adaptive = stenstromBitsPerRef(PolicyKind::Adaptive,
+                                              wfrac, 8, 6000);
+        net::OmegaNetwork net(16);
+        proto::NoCacheProtocol nc(net, proto::MessageSizes{}, 4);
+        workload::SharedBlockWorkload w(sharedParams(wfrac, 8,
+                                                     6000));
+        auto res = nc.run(w);
+        EXPECT_EQ(res.valueErrors, 0u);
+        double nocache = static_cast<double>(res.networkBits) /
+            static_cast<double>(res.refs);
+        EXPECT_LT(adaptive, nocache) << "w=" << wfrac;
+    }
+}
+
+TEST(Integration, TwoModeCapsWriteOncePeak)
+{
+    // At the write-once worst case (w ~ 0.5, many sharers) the
+    // two-mode system must move fewer bits.
+    double wfrac = 0.5;
+    unsigned tasks = 8;
+    double adaptive = stenstromBitsPerRef(PolicyKind::Adaptive,
+                                          wfrac, tasks, 6000);
+    net::OmegaNetwork net(16);
+    proto::WriteOnceProtocol wo(net, proto::MessageSizes{}, 4);
+    workload::SharedBlockWorkload w(sharedParams(wfrac, tasks,
+                                                 6000));
+    auto res = wo.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    double wo_bits = static_cast<double>(res.networkBits) /
+        static_cast<double>(res.refs);
+    EXPECT_LT(adaptive, wo_bits);
+}
+
+TEST(Integration, AllProtocolsAgreeOnValues)
+{
+    // The same trace through five engines: everyone returns the
+    // same (golden) values.
+    workload::SharedBlockWorkload gen(sharedParams(0.4, 6, 3000,
+                                                   99));
+    auto refs = workload::collect(gen);
+
+    auto run_one = [&](proto::CoherenceProtocol &p) {
+        workload::TracePlayer tp(refs);
+        auto res = p.run(tp);
+        EXPECT_EQ(res.valueErrors, 0u) << p.protoName();
+    };
+
+    {
+        SystemConfig cfg = baseConfig();
+        cfg.policy = PolicyKind::Adaptive;
+        System sys(cfg);
+        workload::TracePlayer tp(refs);
+        auto res = sys.run(tp);
+        EXPECT_EQ(res.valueErrors, 0u);
+    }
+    {
+        net::OmegaNetwork net(16);
+        proto::NoCacheProtocol p(net, proto::MessageSizes{}, 4);
+        run_one(p);
+    }
+    {
+        net::OmegaNetwork net(16);
+        proto::WriteOnceProtocol p(net, proto::MessageSizes{}, 4);
+        run_one(p);
+    }
+    {
+        net::OmegaNetwork net(16);
+        proto::FullMapProtocol p(net, proto::MessageSizes{}, 4);
+        run_one(p);
+    }
+    {
+        net::OmegaNetwork net(16);
+        proto::DragonUpdateProtocol p(net, proto::MessageSizes{}, 4);
+        run_one(p);
+    }
+}
+
+TEST(Integration, ProducerConsumerFavorsDistributedWrite)
+{
+    // Producer/consumer with many consumers: DW multicasts each
+    // produced word once; GR makes every consumer fetch it.
+    auto bits_for = [&](PolicyKind k) {
+        SystemConfig cfg = baseConfig();
+        cfg.policy = k;
+        System sys(cfg);
+        workload::ProducerConsumerParams pp;
+        pp.placement = workload::adjacentPlacement(8);
+        pp.bufferBlocks = 2;
+        pp.blockWords = 4;
+        pp.rounds = 20;
+        workload::ProducerConsumerWorkload w(pp);
+        auto res = sys.run(w);
+        EXPECT_EQ(res.valueErrors, 0u);
+        return res.networkBits;
+    };
+    EXPECT_LT(bits_for(PolicyKind::ForceDW),
+              bits_for(PolicyKind::ForceGR));
+}
+
+TEST(Integration, HotSpotStaysCoherentUnderContention)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.policy = PolicyKind::Adaptive;
+    System sys(cfg);
+    workload::HotSpotParams hp;
+    hp.placement = workload::adjacentPlacement(16);
+    hp.writeFraction = 0.5;
+    hp.blockWords = 4;
+    hp.numRefs = 8000;
+    workload::HotSpotWorkload w(hp);
+    auto res = sys.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    auto errs = proto::checkInvariants(sys.protocol());
+    EXPECT_TRUE(errs.empty()) << errs.front();
+}
+
+TEST(Integration, CombinedSchemeNeverLosesToFixedSchemes)
+{
+    // Same workload, four multicast configurations: the combined
+    // scheme's traffic is minimal.
+    auto bits_for = [&](net::Scheme s) {
+        SystemConfig cfg = baseConfig(64);
+        cfg.multicastScheme = s;
+        cfg.defaultMode = cache::Mode::DistributedWrite;
+        System sys(cfg);
+        workload::SharedBlockWorkload w(sharedParams(0.3, 16,
+                                                     6000));
+        auto res = sys.run(w);
+        EXPECT_EQ(res.valueErrors, 0u);
+        return res.networkBits;
+    };
+    Bits combined = bits_for(net::Scheme::Combined);
+    EXPECT_LE(combined, bits_for(net::Scheme::Unicasts));
+    EXPECT_LE(combined, bits_for(net::Scheme::VectorRouting));
+    EXPECT_LE(combined, bits_for(net::Scheme::BroadcastTag));
+}

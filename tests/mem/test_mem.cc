@@ -1,0 +1,87 @@
+/** @file Tests for memory modules and the block store. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_module.hh"
+#include "sim/logging.hh"
+
+using namespace mscp;
+using namespace mscp::mem;
+
+TEST(BlockStore, StartsEmpty)
+{
+    BlockStore bs;
+    EXPECT_FALSE(bs.hasOwner(5));
+    EXPECT_EQ(bs.owner(5), invalidNode);
+    EXPECT_EQ(bs.size(), 0u);
+}
+
+TEST(BlockStore, SetAndClearOwner)
+{
+    BlockStore bs;
+    bs.setOwner(5, 3);
+    EXPECT_TRUE(bs.hasOwner(5));
+    EXPECT_EQ(bs.owner(5), 3u);
+    bs.setOwner(5, 7); // ownership change
+    EXPECT_EQ(bs.owner(5), 7u);
+    bs.clear(5);
+    EXPECT_FALSE(bs.hasOwner(5));
+    EXPECT_EQ(bs.size(), 0u);
+}
+
+TEST(BlockStore, IndependentBlocks)
+{
+    BlockStore bs;
+    bs.setOwner(1, 1);
+    bs.setOwner(2, 2);
+    EXPECT_EQ(bs.owner(1), 1u);
+    EXPECT_EQ(bs.owner(2), 2u);
+    EXPECT_EQ(bs.size(), 2u);
+}
+
+TEST(MemoryModule, ZeroFilledByDefault)
+{
+    MemoryModule m(0, 8);
+    auto blk = m.readBlock(42);
+    EXPECT_EQ(blk.size(), 8u);
+    for (auto w : blk)
+        EXPECT_EQ(w, 0u);
+    EXPECT_EQ(m.readWord(42, 3), 0u);
+    EXPECT_EQ(m.touchedBlocks(), 0u);
+}
+
+TEST(MemoryModule, WriteBlockRoundTrips)
+{
+    MemoryModule m(0, 4);
+    std::vector<std::uint64_t> data{10, 20, 30, 40};
+    m.writeBlock(7, data);
+    EXPECT_EQ(m.readBlock(7), data);
+    EXPECT_EQ(m.readWord(7, 2), 30u);
+    EXPECT_EQ(m.touchedBlocks(), 1u);
+}
+
+TEST(MemoryModule, WriteWordUpdatesInPlace)
+{
+    MemoryModule m(0, 4);
+    m.writeWord(3, 1, 99);
+    EXPECT_EQ(m.readWord(3, 1), 99u);
+    EXPECT_EQ(m.readWord(3, 0), 0u);
+    m.writeWord(3, 1, 100);
+    EXPECT_EQ(m.readWord(3, 1), 100u);
+}
+
+TEST(MemoryModule, WrongBlockSizePanics)
+{
+    MemoryModule m(0, 4);
+    EXPECT_THROW(m.writeBlock(1, {1, 2}), PanicError);
+    EXPECT_THROW(m.readWord(1, 9), PanicError);
+    EXPECT_THROW(m.writeWord(1, 4, 0), PanicError);
+}
+
+TEST(AddressMap, InterleavesByBlock)
+{
+    AddressMap am{4};
+    EXPECT_EQ(am.moduleOf(0), 0u);
+    EXPECT_EQ(am.moduleOf(5), 1u);
+    EXPECT_EQ(am.moduleOf(7), 3u);
+}

@@ -1,0 +1,179 @@
+/** @file Delivery-correctness tests for the multicast schemes. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/omega_network.hh"
+#include "sim/random.hh"
+
+using namespace mscp;
+using namespace mscp::net;
+
+namespace
+{
+
+std::vector<NodeId>
+sorted(std::vector<NodeId> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+} // anonymous namespace
+
+TEST(Subcube, SizeAndMembers)
+{
+    Subcube c{0b0100, 0b0011};
+    EXPECT_EQ(c.size(), 4u);
+    auto m = c.members(16);
+    EXPECT_EQ(m, (std::vector<NodeId>{4, 5, 6, 7}));
+    EXPECT_TRUE(c.contains(5));
+    EXPECT_FALSE(c.contains(8));
+}
+
+TEST(Subcube, EnclosingIsMinimal)
+{
+    auto c = Subcube::enclosing({3, 5});
+    // 3=011, 5=101 differ in bits 1,2 -> mask 110; base 001.
+    EXPECT_EQ(c.mask, 6u);
+    EXPECT_EQ(c.base, 1u);
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_TRUE(c.contains(3));
+    EXPECT_TRUE(c.contains(5));
+}
+
+TEST(Subcube, SingleDestination)
+{
+    auto c = Subcube::enclosing({9});
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.members(16), (std::vector<NodeId>{9}));
+}
+
+TEST(Unicast, DeliversToDestination)
+{
+    OmegaNetwork net(8);
+    auto r = net.unicast(3, 6, 20);
+    EXPECT_EQ(r.delivered, (std::vector<NodeId>{6}));
+    EXPECT_EQ(r.traversals, net.hopCount());
+}
+
+TEST(Scheme1, DeliversToAllDestinations)
+{
+    OmegaNetwork net(16);
+    std::vector<NodeId> dests{1, 5, 5, 9}; // duplicate allowed
+    auto r = net.multicast(Scheme::Unicasts, 2, dests, 20);
+    EXPECT_EQ(sorted(r.delivered), sorted(dests));
+}
+
+TEST(Scheme2, DeliversExactSet)
+{
+    OmegaNetwork net(8);
+    // The paper's Fig. 4 example: destinations 0, 2, 3, 6.
+    std::vector<NodeId> dests{0, 2, 3, 6};
+    auto r = net.multicast(Scheme::VectorRouting, 1, dests, 20);
+    EXPECT_EQ(sorted(r.delivered), dests);
+    EXPECT_EQ(r.overshoot, 0u);
+}
+
+TEST(Scheme2, EmptySetSendsNothing)
+{
+    OmegaNetwork net(8);
+    auto r = net.multicast(Scheme::VectorRouting, 1, {}, 20);
+    EXPECT_TRUE(r.delivered.empty());
+    EXPECT_EQ(r.totalBits, 0u);
+    EXPECT_EQ(net.linkStats().totalBits(), 0u);
+}
+
+TEST(Scheme3, DeliversSubcube)
+{
+    OmegaNetwork net(16);
+    std::vector<NodeId> dests{8, 9, 10, 11}; // aligned cube
+    auto r = net.multicast(Scheme::BroadcastTag, 0, dests, 20);
+    EXPECT_EQ(sorted(r.delivered), dests);
+    EXPECT_EQ(r.overshoot, 0u);
+}
+
+TEST(Scheme3, PadsToEnclosingSubcube)
+{
+    OmegaNetwork net(16);
+    // {1, 4} -> enclosing cube mask 101, base 000 -> {0,1,4,5}.
+    auto r = net.multicast(Scheme::BroadcastTag, 7, {1, 4}, 20);
+    EXPECT_EQ(sorted(r.delivered), (std::vector<NodeId>{0, 1, 4, 5}));
+    EXPECT_EQ(r.overshoot, 2u);
+}
+
+TEST(Scheme3, FullBroadcastReachesEveryPort)
+{
+    OmegaNetwork net(8);
+    std::vector<NodeId> all{0, 1, 2, 3, 4, 5, 6, 7};
+    auto r = net.multicast(Scheme::BroadcastTag, 5, all, 10);
+    EXPECT_EQ(sorted(r.delivered), all);
+}
+
+class RandomSets : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RandomSets, Scheme2DeliversRandomSets)
+{
+    unsigned n = GetParam();
+    OmegaNetwork net(n);
+    Random rng(n * 17);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto k = static_cast<std::uint32_t>(rng.uniform(1, n));
+        auto set32 = rng.sampleWithoutReplacement(n, k);
+        std::vector<NodeId> dests(set32.begin(), set32.end());
+        auto src = static_cast<NodeId>(rng.uniform(0, n - 1));
+        auto r = net.multicast(Scheme::VectorRouting, src, dests, 20);
+        EXPECT_EQ(sorted(r.delivered), dests);
+    }
+}
+
+TEST_P(RandomSets, CombinedDeliversAtLeastRequested)
+{
+    unsigned n = GetParam();
+    OmegaNetwork net(n);
+    Random rng(n * 31);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto k = static_cast<std::uint32_t>(rng.uniform(1, n));
+        auto set32 = rng.sampleWithoutReplacement(n, k);
+        std::vector<NodeId> dests(set32.begin(), set32.end());
+        auto src = static_cast<NodeId>(rng.uniform(0, n - 1));
+        auto r = net.multicastCombined(src, dests, 20);
+        std::set<NodeId> got(r.delivered.begin(), r.delivered.end());
+        for (NodeId d : dests)
+            EXPECT_TRUE(got.count(d)) << "missing dest " << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSets,
+                         ::testing::Values(4u, 8u, 16u, 64u, 256u));
+
+TEST(Evaluate, MatchesCommitDeltas)
+{
+    OmegaNetwork net(16);
+    std::vector<NodeId> dests{2, 3, 11, 14};
+    auto trace = net.traceScheme1(5, dests, 20);
+    auto eval = net.evaluate(trace);
+    Bits before = net.linkStats().totalBits();
+    auto com = net.commit(trace);
+    EXPECT_EQ(com.totalBits, eval.totalBits);
+    EXPECT_EQ(net.linkStats().totalBits() - before, eval.totalBits);
+    for (unsigned lvl = 0; lvl < eval.bitsPerLevel.size(); ++lvl) {
+        EXPECT_EQ(net.linkStats().levelBits(lvl),
+                  eval.bitsPerLevel[lvl]);
+    }
+}
+
+TEST(LinkStats, TracksMaxAndReset)
+{
+    OmegaNetwork net(8);
+    net.unicast(0, 7, 100);
+    EXPECT_GT(net.linkStats().maxLinkBits(), 0u);
+    EXPECT_EQ(net.linkStats().traversals(), net.hopCount());
+    net.linkStats().reset();
+    EXPECT_EQ(net.linkStats().totalBits(), 0u);
+    EXPECT_EQ(net.linkStats().maxLinkBits(), 0u);
+}

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the message-level concurrent engine: linearizable
+ * values under genuine transaction overlap, quiescent invariants,
+ * race paths (pointer NACKs, home queueing, hand-offs under load)
+ * and cross-validation against the atomic engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/omega_network.hh"
+#include "proto/checker.hh"
+#include "proto/concurrent.hh"
+#include "proto/stenstrom.hh"
+#include "workload/patterns.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+#include "workload/trace.hh"
+
+using namespace mscp;
+using namespace mscp::proto;
+
+namespace
+{
+
+SystemView
+viewOf(const ConcurrentProtocol &p)
+{
+    SystemView v;
+    v.numCaches = p.numCaches();
+    v.cacheArray = [&p](NodeId c) -> const cache::CacheArray & {
+        return p.cacheArray(c);
+    };
+    v.memoryModule = [&p](unsigned i) -> const mem::MemoryModule & {
+        return p.memoryModule(i);
+    };
+    v.homeOf = [&p](BlockId b) { return p.homeOf(b); };
+    return v;
+}
+
+ConcurrentParams
+baseParams()
+{
+    ConcurrentParams p;
+    p.geometry = cache::Geometry{4, 8, 2};
+    return p;
+}
+
+void
+expectQuiescentClean(const ConcurrentProtocol &p)
+{
+    auto errs = checkInvariants(viewOf(p));
+    EXPECT_TRUE(errs.empty()) << errs.front();
+}
+
+} // anonymous namespace
+
+TEST(Concurrent, SingleCpuSequentialValues)
+{
+    net::OmegaNetwork net(8);
+    ConcurrentProtocol p(net, baseParams());
+    std::vector<workload::MemRef> refs;
+    for (Addr a = 0; a < 30; ++a) {
+        refs.push_back({0, a, true, a + 100});
+        refs.push_back({0, a, false, 0});
+    }
+    workload::TracePlayer tp(refs);
+    auto res = p.run(tp);
+    EXPECT_EQ(res.refs, 60u);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(res.makespan, 0u);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, SharedBlockOverlappingTransactions)
+{
+    net::OmegaNetwork net(16);
+    ConcurrentProtocol p(net, baseParams());
+    workload::SharedBlockParams wp;
+    wp.placement = workload::adjacentPlacement(8);
+    wp.writeFraction = 0.3;
+    wp.numBlocks = 2;
+    wp.blockWords = 4;
+    wp.baseAddr = 14 * 4;
+    wp.numRefs = 4000;
+    workload::SharedBlockWorkload w(wp);
+    auto res = p.run(w);
+    EXPECT_EQ(res.refs, 4000u);
+    EXPECT_EQ(res.valueErrors, 0u);
+    // Genuine concurrency: the home had to queue conflicting
+    // transactions at least once.
+    EXPECT_GT(p.counters().homeQueued, 0u);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, PointerBypassRacesAreNackedAndRecovered)
+{
+    // Migratory ownership in GR mode: pointer holders chase a
+    // moving owner, so some direct reads must land on ex-owners.
+    net::OmegaNetwork net(16);
+    ConcurrentProtocol p(net, baseParams());
+    workload::SharedBlockParams wp;
+    wp.placement = workload::adjacentPlacement(8);
+    wp.writeFraction = 0.5; // many ownership moves
+    wp.numBlocks = 1;
+    wp.blockWords = 4;
+    wp.baseAddr = 15 * 4;
+    wp.numRefs = 6000;
+    wp.writerAlsoReads = true;
+    workload::SharedBlockWorkload w(wp);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().pointerReads, 0u);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, MigratoryOwnershipChase)
+{
+    net::OmegaNetwork net(8);
+    ConcurrentProtocol p(net, baseParams());
+    workload::MigratoryParams mp;
+    mp.placement = workload::adjacentPlacement(4);
+    mp.numBlocks = 2;
+    mp.blockWords = 4;
+    mp.rounds = 24;
+    workload::MigratoryWorkload w(mp);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().ownershipTransfers, 0u);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, EvictionHeavyTinyCaches)
+{
+    // One-entry caches: every second access evicts, driving the
+    // EvictReq/EvictAck handshake and the hand-off offers under
+    // real message concurrency.
+    net::OmegaNetwork net(8);
+    ConcurrentParams params = baseParams();
+    params.geometry = cache::Geometry{4, 1, 1};
+    params.defaultMode = cache::Mode::DistributedWrite;
+    ConcurrentProtocol p(net, params);
+
+    workload::UniformRandomParams up;
+    up.numCpus = 8;
+    up.addrRange = 4 * 6;
+    up.writeFraction = 0.4;
+    up.numRefs = 4000;
+    up.seed = 13;
+    workload::UniformRandomWorkload w(up);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().evictions, 0u);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, RandomSweepAcrossConfigs)
+{
+    struct Cfg
+    {
+        unsigned ports;
+        cache::Mode mode;
+        net::Scheme scheme;
+        double w;
+        std::uint64_t seed;
+    };
+    for (auto [ports, mode, scheme, w, seed] : {
+             Cfg{4, cache::Mode::GlobalRead,
+                 net::Scheme::Unicasts, 0.3, 1},
+             Cfg{8, cache::Mode::DistributedWrite,
+                 net::Scheme::VectorRouting, 0.5, 2},
+             Cfg{16, cache::Mode::GlobalRead,
+                 net::Scheme::Combined, 0.2, 3},
+             Cfg{16, cache::Mode::DistributedWrite,
+                 net::Scheme::Combined, 0.7, 4},
+             Cfg{32, cache::Mode::DistributedWrite,
+                 net::Scheme::BroadcastTag, 0.4, 5},
+             Cfg{8, cache::Mode::GlobalRead,
+                 net::Scheme::Combined, 0.6, 6},
+             Cfg{16, cache::Mode::DistributedWrite,
+                 net::Scheme::Unicasts, 0.1, 7},
+             Cfg{32, cache::Mode::GlobalRead,
+                 net::Scheme::Combined, 0.4, 8},
+             Cfg{8, cache::Mode::DistributedWrite,
+                 net::Scheme::Combined, 0.9, 9}}) {
+        net::OmegaNetwork net(ports);
+        ConcurrentParams params = baseParams();
+        params.geometry = cache::Geometry{4, 2, 2};
+        params.defaultMode = mode;
+        params.multicastScheme = scheme;
+        // Narrow links on odd seeds stress message reordering.
+        params.linkWidthBits = (seed % 2) ? 4 : 16;
+        params.thinkTime = seed % 3;
+        ConcurrentProtocol p(net, params);
+
+        workload::UniformRandomParams up;
+        up.numCpus = ports;
+        up.addrRange = 4 * 2 * 2 * 3 * 4;
+        up.writeFraction = w;
+        up.numRefs = 3000;
+        up.seed = seed;
+        workload::UniformRandomWorkload stream(up);
+        auto res = p.run(stream);
+        EXPECT_EQ(res.valueErrors, 0u)
+            << "ports=" << ports << " seed=" << seed;
+        auto errs = checkInvariants(viewOf(p));
+        EXPECT_TRUE(errs.empty())
+            << "ports=" << ports << " seed=" << seed << ": "
+            << errs.front();
+    }
+}
+
+TEST(Concurrent, HitsAreFasterThanMisses)
+{
+    net::OmegaNetwork net(8);
+    ConcurrentProtocol p(net, baseParams());
+    // cpu 0: one miss then many hits; cpu 5 far away does misses.
+    std::vector<workload::MemRef> refs;
+    refs.push_back({0, 100, true, 1});
+    for (int i = 0; i < 20; ++i)
+        refs.push_back({0, 100, false, 0});
+    workload::TracePlayer tp(refs);
+    auto res = p.run(tp);
+    EXPECT_EQ(res.valueErrors, 0u);
+    // 20 hits at ~1 tick dominate the average.
+    EXPECT_LT(res.avgReadLatency, 10.0);
+}
+
+TEST(Concurrent, MatchesAtomicEngineMessageCountsLoosely)
+{
+    // Same trace through both engines: the concurrent engine adds
+    // acks/unblocks/nacks but must not silently lose protocol work
+    // (at least as many messages, same value correctness).
+    workload::SharedBlockParams wp;
+    wp.placement = workload::adjacentPlacement(6);
+    wp.writeFraction = 0.4;
+    wp.numBlocks = 2;
+    wp.blockWords = 4;
+    wp.baseAddr = 12 * 4;
+    wp.numRefs = 2000;
+    workload::SharedBlockWorkload gen(wp);
+    auto refs = workload::collect(gen);
+
+    std::uint64_t atomic_msgs;
+    {
+        net::OmegaNetwork net(16);
+        StenstromParams sp;
+        sp.geometry = cache::Geometry{4, 8, 2};
+        StenstromProtocol atomic(net, sp);
+        workload::TracePlayer tp(refs);
+        auto res = atomic.run(tp);
+        EXPECT_EQ(res.valueErrors, 0u);
+        atomic_msgs = atomic.messageCounters().totalCount();
+    }
+    {
+        net::OmegaNetwork net(16);
+        ConcurrentProtocol conc(net, baseParams());
+        workload::TracePlayer tp(refs);
+        auto res = conc.run(tp);
+        EXPECT_EQ(res.valueErrors, 0u);
+        EXPECT_GE(conc.messageCounters().totalCount(),
+                  atomic_msgs);
+        expectQuiescentClean(conc);
+    }
+}
+
+TEST(Concurrent, ThinkTimeSlowsTheClockNotTheWork)
+{
+    auto run_with = [&](Tick think) {
+        net::OmegaNetwork net(8);
+        ConcurrentParams params = baseParams();
+        params.thinkTime = think;
+        ConcurrentProtocol p(net, params);
+        workload::SharedBlockParams wp;
+        wp.placement = workload::adjacentPlacement(4);
+        wp.writeFraction = 0.3;
+        wp.numBlocks = 1;
+        wp.blockWords = 4;
+        wp.numRefs = 500;
+        workload::SharedBlockWorkload w(wp);
+        auto res = p.run(w);
+        EXPECT_EQ(res.valueErrors, 0u);
+        return res.makespan;
+    };
+    EXPECT_GT(run_with(50), run_with(0));
+}
+
+TEST(Concurrent, HotSpotContentionStaysLinearizable)
+{
+    net::OmegaNetwork net(16);
+    ConcurrentParams params = baseParams();
+    params.defaultMode = cache::Mode::DistributedWrite;
+    ConcurrentProtocol p(net, params);
+    workload::HotSpotParams hp;
+    hp.placement = workload::adjacentPlacement(16);
+    hp.writeFraction = 0.5;
+    hp.blockWords = 4;
+    hp.baseAddr = 15 * 4;
+    hp.numRefs = 5000;
+    workload::HotSpotWorkload w(hp);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().homeQueued, 0u);
+    expectQuiescentClean(p);
+}

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Directed tests: one scenario per transaction of Sec. 2.2, with
+ * explicit state-field assertions against Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/omega_network.hh"
+#include "proto/checker.hh"
+#include "proto/stenstrom.hh"
+
+using namespace mscp;
+using namespace mscp::proto;
+using cache::Mode;
+using cache::State;
+
+namespace
+{
+
+class StenstromBasic : public ::testing::Test
+{
+  protected:
+    StenstromBasic()
+        : net(8)
+    {
+        StenstromParams p;
+        p.geometry = cache::Geometry{4, 8, 2};
+        proto = std::make_unique<StenstromProtocol>(net, p);
+    }
+
+    State
+    stateAt(NodeId c, BlockId b) const
+    {
+        const cache::Entry *e = proto->cacheArray(c).find(b);
+        return e ? e->field.state : State::Invalid;
+    }
+
+    const cache::Entry *
+    entryAt(NodeId c, BlockId b) const
+    {
+        return proto->cacheArray(c).find(b);
+    }
+
+    void
+    expectClean() const
+    {
+        auto errs = checkInvariants(*proto);
+        EXPECT_TRUE(errs.empty()) << errs.front();
+    }
+
+    net::OmegaNetwork net;
+    std::unique_ptr<StenstromProtocol> proto;
+};
+
+} // anonymous namespace
+
+TEST_F(StenstromBasic, FirstReadBecomesExclusiveGlobalReadOwner)
+{
+    // Sec 2.2 item 2(a): no other copy -> Owned Exclusively Global
+    // Read, block store marks the requester.
+    BlockId blk = 9; // home = 9 % 8 = 1
+    Addr addr = blk * 4;
+    EXPECT_EQ(proto->read(2, addr), 0u);
+    EXPECT_EQ(stateAt(2, blk), State::OwnedExclGR);
+    EXPECT_EQ(proto->memoryModule(1).blockStore().owner(blk), 2u);
+    EXPECT_EQ(proto->counters().readMissUncached, 1u);
+    const auto *e = entryAt(2, blk);
+    EXPECT_FALSE(e->field.modified);
+    EXPECT_EQ(e->field.present.count(), 1u);
+    EXPECT_TRUE(e->field.present.test(2));
+    expectClean();
+}
+
+TEST_F(StenstromBasic, SecondReaderInGlobalReadGetsPointerOnly)
+{
+    // Item 2(b)-ii: owner sends only the datum + its id; requester
+    // reserves an Invalid entry with the OWNER field set.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->read(5, addr);
+    EXPECT_EQ(stateAt(2, 9), State::OwnedNonExclGR);
+    const auto *e = entryAt(5, 9);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->field.state, State::Invalid);
+    EXPECT_EQ(e->field.owner, 2u);
+    // Owner's present vector includes the invalid-copy holder.
+    EXPECT_TRUE(entryAt(2, 9)->field.present.test(5));
+    EXPECT_EQ(proto->counters().readMissOwnedGR, 1u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, PointerBypassSkipsTheMemoryModule)
+{
+    Addr addr = 9 * 4;
+    proto->write(2, addr, 77);
+    proto->read(5, addr); // creates the pointer
+    Bits before = net.linkStats().totalBits();
+    auto msgs_before = proto->messageCounters().totalCount();
+    EXPECT_EQ(proto->read(5, addr), 77u);
+    // The bypass is exactly two unicasts: request to the owner and
+    // the datum back - no memory-module hop.
+    EXPECT_EQ(proto->messageCounters().totalCount() - msgs_before,
+              2u);
+    Bits expect = 0;
+    {
+        net::OmegaNetwork probe(8);
+        auto sz = proto->messageSizes();
+        expect += probe.unicast(5, 2, sz.control()).totalBits;
+        expect += probe.unicast(2, 5, sz.control() +
+                                sz.wordBits).totalBits;
+    }
+    EXPECT_EQ(net.linkStats().totalBits() - before, expect);
+    EXPECT_EQ(proto->counters().readMissPointerGR, 1u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, SetModeDistributedWriteSharesCopies)
+{
+    // After the owner switches to DW, remote readers obtain real
+    // copies in UnOwned state (item 2(b)-i).
+    Addr addr = 9 * 4;
+    proto->write(2, addr, 41);
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    EXPECT_EQ(stateAt(2, 9), State::OwnedExclDW);
+    EXPECT_EQ(proto->read(5, addr), 41u);
+    EXPECT_EQ(stateAt(5, 9), State::UnOwned);
+    EXPECT_EQ(stateAt(2, 9), State::OwnedNonExclDW);
+    // A second read at 5 is now a pure hit.
+    auto hits = proto->counters().readHits;
+    proto->read(5, addr);
+    EXPECT_EQ(proto->counters().readHits, hits + 1);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, OwnerWriteIsLocalWhenExclusive)
+{
+    Addr addr = 3 * 4;
+    proto->read(4, addr);
+    Bits before = net.linkStats().totalBits();
+    proto->write(4, addr + 1, 10); // hit, exclusive
+    EXPECT_EQ(net.linkStats().totalBits(), before);
+    EXPECT_TRUE(entryAt(4, 3)->field.modified);
+    EXPECT_EQ(proto->counters().writeHitExcl, 1u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, DistributedWriteUpdatesAllCopies)
+{
+    // Item 3(b): write distributed to the present vector.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    proto->read(5, addr);
+    proto->read(7, addr);
+    proto->write(2, addr + 2, 123);
+    EXPECT_EQ(proto->counters().dwUpdates, 1u);
+    // Copies see the new value locally (hits).
+    auto hits = proto->counters().readHits;
+    EXPECT_EQ(proto->read(5, addr + 2), 123u);
+    EXPECT_EQ(proto->read(7, addr + 2), 123u);
+    EXPECT_EQ(proto->counters().readHits, hits + 2);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, GlobalReadWriteIsLocalDespiteSharers)
+{
+    // Item 3(c): in GR mode the owner writes locally even when
+    // invalid copies exist.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->read(5, addr); // pointer holder
+    Bits before = net.linkStats().totalBits();
+    proto->write(2, addr, 55);
+    EXPECT_EQ(net.linkStats().totalBits(), before);
+    EXPECT_EQ(proto->counters().writeHitNonExclGR, 1u);
+    // The pointer holder still reads the fresh value (via owner).
+    EXPECT_EQ(proto->read(5, addr), 55u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, UnOwnedWriteAcquiresOwnership)
+{
+    // Item 3(d)-i: ownership moves; old owner keeps an UnOwned copy.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    proto->read(5, addr);
+    EXPECT_EQ(stateAt(5, 9), State::UnOwned);
+    proto->write(5, addr, 200);
+    EXPECT_EQ(stateAt(5, 9), State::OwnedNonExclDW);
+    EXPECT_EQ(stateAt(2, 9), State::UnOwned);
+    EXPECT_EQ(proto->memoryModule(1).blockStore().owner(9), 5u);
+    EXPECT_EQ(proto->counters().writeHitUnOwned, 1u);
+    EXPECT_EQ(proto->counters().ownershipTransfers, 1u);
+    // The distributed write updated the old owner's copy.
+    auto hits = proto->counters().readHits;
+    EXPECT_EQ(proto->read(2, addr), 200u);
+    EXPECT_EQ(proto->counters().readHits, hits + 1);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, WriteMissUncachedLoadsExclusive)
+{
+    // Item 4(a).
+    Addr addr = 14 * 4;
+    proto->write(3, addr, 9);
+    EXPECT_EQ(stateAt(3, 14), State::OwnedExclGR);
+    EXPECT_TRUE(entryAt(3, 14)->field.modified);
+    EXPECT_EQ(proto->counters().writeMissUncached, 1u);
+    EXPECT_EQ(proto->read(3, addr), 9u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, WriteMissWithGlobalReadOwnerMovesOwnership)
+{
+    // Item 4(b)-ii: old owner ships copy + state, announces the new
+    // owner to invalid copies, invalidates itself.
+    Addr addr = 9 * 4;
+    proto->write(2, addr, 1);  // cpu2 owns, GR
+    proto->read(5, addr);      // 5 holds a pointer
+    proto->write(6, addr, 2);  // 6 write-misses
+    EXPECT_EQ(stateAt(6, 9), State::OwnedNonExclGR);
+    EXPECT_EQ(proto->memoryModule(1).blockStore().owner(9), 6u);
+    // Old owner invalidated but keeps a pointer to the new owner.
+    const auto *e2 = entryAt(2, 9);
+    ASSERT_NE(e2, nullptr);
+    EXPECT_EQ(e2->field.state, State::Invalid);
+    EXPECT_EQ(e2->field.owner, 6u);
+    // The other pointer holder was re-aimed by the announcement.
+    EXPECT_EQ(entryAt(5, 9)->field.owner, 6u);
+    EXPECT_GE(proto->counters().ownerAnnounces, 1u);
+    EXPECT_EQ(proto->read(5, addr), 2u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, WriteMissWithDistributedWriteOwner)
+{
+    // Item 4(b)-i: old owner becomes UnOwned; subsequent write
+    // updates it.
+    Addr addr = 9 * 4;
+    proto->write(2, addr, 1);
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    proto->write(6, addr, 2);
+    EXPECT_EQ(stateAt(6, 9), State::OwnedNonExclDW);
+    EXPECT_EQ(stateAt(2, 9), State::UnOwned);
+    EXPECT_EQ(proto->read(2, addr), 2u); // local hit, updated
+    expectClean();
+}
+
+TEST_F(StenstromBasic, SetModeGlobalReadInvalidatesCopies)
+{
+    // Item 7: invalidation to all caches, DW cleared; holders keep
+    // OWNER pointers.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    proto->read(5, addr);
+    proto->read(7, addr);
+    proto->setMode(2, addr, Mode::GlobalRead);
+    EXPECT_EQ(stateAt(2, 9), State::OwnedNonExclGR);
+    EXPECT_EQ(stateAt(5, 9), State::Invalid);
+    EXPECT_EQ(entryAt(5, 9)->field.owner, 2u);
+    EXPECT_EQ(stateAt(7, 9), State::Invalid);
+    EXPECT_GE(proto->counters().invalidations, 1u);
+    EXPECT_EQ(proto->counters().modeSwitches, 2u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, SetModeDistributedWriteDropsPointers)
+{
+    // Documented decision: GR -> DW discards OWNER pointers so the
+    // present vector tracks valid copies only.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->read(5, addr); // pointer holder
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    EXPECT_EQ(stateAt(2, 9), State::OwnedExclDW);
+    EXPECT_EQ(entryAt(5, 9), nullptr);
+    EXPECT_EQ(entryAt(2, 9)->field.present.count(), 1u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, SetModeIsIdempotent)
+{
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    auto switches = proto->counters().modeSwitches;
+    proto->setMode(2, addr, Mode::GlobalRead); // already GR
+    EXPECT_EQ(proto->counters().modeSwitches, switches);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, SetModeAcquiresOwnershipFirst)
+{
+    // Items 6/7 both start with an ownership acquisition.
+    Addr addr = 9 * 4;
+    proto->read(2, addr);
+    proto->setMode(2, addr, Mode::DistributedWrite);
+    proto->read(5, addr); // UnOwned copy at 5
+    proto->setMode(5, addr, Mode::GlobalRead);
+    EXPECT_EQ(proto->memoryModule(1).blockStore().owner(9), 5u);
+    EXPECT_EQ(stateAt(5, 9), State::OwnedNonExclGR);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, GoldenValuesSurviveOwnershipChase)
+{
+    // Values stay correct through a chain of ownership moves.
+    Addr addr = 9 * 4;
+    proto->write(0, addr, 10);
+    proto->write(1, addr, 11);
+    proto->write(2, addr, 12);
+    for (NodeId c = 0; c < 8; ++c)
+        EXPECT_EQ(proto->read(c, addr), 12u) << "cpu " << c;
+    EXPECT_EQ(proto->valueErrors(), 0u);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, ReadHitCostsNothing)
+{
+    Addr addr = 2 * 4;
+    proto->read(6, addr);
+    Bits before = net.linkStats().totalBits();
+    proto->read(6, addr);
+    proto->read(6, addr + 3);
+    EXPECT_EQ(net.linkStats().totalBits(), before);
+    expectClean();
+}
+
+TEST_F(StenstromBasic, CoLocatedMemoryAccessIsFree)
+{
+    // Home of block 8*k+c is port c: a first read by cpu c itself
+    // exchanges messages locally at zero network cost.
+    Addr addr = 8 * 4; // block 8, home 0
+    Bits before = net.linkStats().totalBits();
+    proto->read(0, addr);
+    EXPECT_EQ(net.linkStats().totalBits(), before);
+    EXPECT_EQ(stateAt(0, 8), State::OwnedExclGR);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Exact message accounting for every transaction of Sec. 2.2: each
+ * protocol action sends precisely the messages the paper describes,
+ * with the wire sizes of the size model. This pins the engine to
+ * the cost analysis of Sec. 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/omega_network.hh"
+#include "proto/stenstrom.hh"
+
+using namespace mscp;
+using namespace mscp::proto;
+using cache::Mode;
+
+namespace
+{
+
+class Costs : public ::testing::Test
+{
+  protected:
+    Costs()
+        : net(8)
+    {
+        StenstromParams p;
+        p.geometry = cache::Geometry{4, 8, 2};
+        p.multicastScheme = net::Scheme::Unicasts;
+        proto = std::make_unique<StenstromProtocol>(net, p);
+        sizes = proto->messageSizes();
+    }
+
+    /** Messages and bits recorded across @p fn. */
+    std::pair<std::uint64_t, Bits>
+    delta(const std::function<void()> &fn)
+    {
+        auto c0 = proto->messageCounters().totalCount();
+        auto b0 = proto->messageCounters().totalBits();
+        fn();
+        return {proto->messageCounters().totalCount() - c0,
+                proto->messageCounters().totalBits() - b0};
+    }
+
+    Bits ctrl() const { return sizes.control(); }
+    Bits blockBits() const { return sizes.blockPayload(4); }
+    Bits stateBits() const { return sizes.statePayload(8); }
+    Bits ownerBits() const { return sizes.ownerIdPayload(8); }
+
+    net::OmegaNetwork net;
+    std::unique_ptr<StenstromProtocol> proto;
+    MessageSizes sizes;
+};
+
+} // anonymous namespace
+
+TEST_F(Costs, ReadMissUncachedIsRequestPlusBlock)
+{
+    // 2(a): LoadReq (control) + DataBlock (control + block).
+    auto [msgs, bits] = delta([&] { proto->read(2, 9 * 4); });
+    EXPECT_EQ(msgs, 2u);
+    EXPECT_EQ(bits, ctrl() + (ctrl() + blockBits()));
+}
+
+TEST_F(Costs, ReadHitSendsNothing)
+{
+    proto->read(2, 9 * 4);
+    auto [msgs, bits] = delta([&] { proto->read(2, 9 * 4 + 1); });
+    EXPECT_EQ(msgs, 0u);
+    EXPECT_EQ(bits, 0u);
+}
+
+TEST_F(Costs, GlobalReadMissViaMemoryIsThreeMessages)
+{
+    // 2(b)-ii: LoadReq + LoadFwd (controls) + Datum (control +
+    // word + owner id).
+    proto->read(2, 9 * 4);
+    auto [msgs, bits] = delta([&] { proto->read(5, 9 * 4); });
+    EXPECT_EQ(msgs, 3u);
+    EXPECT_EQ(bits, 2 * ctrl() +
+              (ctrl() + sizes.wordBits + ownerBits()));
+}
+
+TEST_F(Costs, PointerBypassIsTwoMessages)
+{
+    // 2-Invalid-(b): LoadReq direct + Datum back - the bypass that
+    // motivates storing OWNER at the caches.
+    proto->read(2, 9 * 4);
+    proto->read(5, 9 * 4);
+    auto [msgs, bits] = delta([&] { proto->read(5, 9 * 4); });
+    EXPECT_EQ(msgs, 2u);
+    EXPECT_EQ(bits, ctrl() + (ctrl() + sizes.wordBits));
+}
+
+TEST_F(Costs, DistributedWriteReadMissShipsTheBlock)
+{
+    // 2(b)-i: LoadReq + LoadFwd + DataBlock.
+    proto->read(2, 9 * 4);
+    proto->setMode(2, 9 * 4, Mode::DistributedWrite);
+    auto [msgs, bits] = delta([&] { proto->read(5, 9 * 4); });
+    EXPECT_EQ(msgs, 3u);
+    EXPECT_EQ(bits, 2 * ctrl() + (ctrl() + blockBits()));
+}
+
+TEST_F(Costs, ExclusiveWriteHitIsFree)
+{
+    proto->write(2, 9 * 4, 1);
+    auto [msgs, bits] = delta([&] { proto->write(2, 9 * 4, 2); });
+    EXPECT_EQ(msgs, 0u);
+    EXPECT_EQ(bits, 0u);
+}
+
+TEST_F(Costs, DistributedWriteHitIsOneUpdatePerCopyScheme1)
+{
+    // 3(b) with scheme 1: one DwUpdate message accounted, costed
+    // as unicasts to each copy.
+    proto->read(2, 9 * 4);
+    proto->setMode(2, 9 * 4, Mode::DistributedWrite);
+    proto->read(5, 9 * 4);
+    proto->read(7, 9 * 4);
+    auto [msgs, bits] = delta([&] { proto->write(2, 9 * 4, 7); });
+    EXPECT_EQ(msgs, 1u);
+    EXPECT_EQ(bits, ctrl() + sizes.wordBits);
+}
+
+TEST_F(Costs, UpgradeFromUnOwnedIsThreeControlsPlusState)
+{
+    // 3(d)-i: OwnReq + OwnFwd (controls) + StateXfer (control +
+    // state field: 4 + N + log2 N bits).
+    proto->read(2, 9 * 4);
+    proto->setMode(2, 9 * 4, Mode::DistributedWrite);
+    proto->read(5, 9 * 4);
+    auto [msgs, bits] = delta([&] { proto->write(5, 9 * 4, 3); });
+    // Upgrade (3 msgs) + the subsequent distributed write (1 msg).
+    EXPECT_EQ(msgs, 4u);
+    EXPECT_EQ(bits, 2 * ctrl() + (ctrl() + stateBits()) +
+              (ctrl() + sizes.wordBits));
+    EXPECT_EQ(stateBits(), 4u + 8u + 3u); // paper's state field
+}
+
+TEST_F(Costs, WriteMissOwnedShipsCopyPlusState)
+{
+    // 4(b): LoadOwnReq + LoadOwnFwd + StateCopyXfer.
+    proto->write(2, 9 * 4, 1);
+    auto [msgs, bits] = delta([&] { proto->write(6, 9 * 4, 2); });
+    EXPECT_EQ(msgs, 3u);
+    EXPECT_EQ(bits, 2 * ctrl() +
+              (ctrl() + stateBits() + blockBits()));
+}
+
+TEST_F(Costs, CleanEvictionIsOneControl)
+{
+    // 5(a) unmodified: BsClear only.
+    net::OmegaNetwork small_net(8);
+    StenstromParams p;
+    p.geometry = cache::Geometry{4, 1, 1};
+    StenstromProtocol small(small_net, p);
+    small.read(3, 0 * 4);
+    auto c0 = small.messageCounters().totalCount();
+    auto b0 = small.messageCounters().totalBits();
+    small.read(3, 1 * 4); // evicts block 0, loads block 1
+    auto msgs = small.messageCounters().totalCount() - c0;
+    auto bits = small.messageCounters().totalBits() - b0;
+    // BsClear (control) + LoadReq (control) + DataBlock.
+    EXPECT_EQ(msgs, 3u);
+    EXPECT_EQ(bits, 2 * small.messageSizes().control() +
+              (small.messageSizes().control() +
+               small.messageSizes().blockPayload(4)));
+}
+
+TEST_F(Costs, DirtyEvictionAddsTheWriteBack)
+{
+    net::OmegaNetwork small_net(8);
+    StenstromParams p;
+    p.geometry = cache::Geometry{4, 1, 1};
+    StenstromProtocol small(small_net, p);
+    small.write(3, 0 * 4, 9);
+    auto b0 = small.messageCounters().totalBits();
+    small.read(3, 1 * 4);
+    auto bits = small.messageCounters().totalBits() - b0;
+    // WriteBack (control + block) + load (2 msgs).
+    EXPECT_EQ(bits, (small.messageSizes().control() +
+                     small.messageSizes().blockPayload(4)) +
+              2 * small.messageSizes().control() +
+              small.messageSizes().blockPayload(4));
+}
+
+TEST_F(Costs, NetworkBitsNeverExceedMessageBits)
+{
+    // Each message traverses once (schemes add only routing
+    // headers), and co-located exchanges are free, so link bits <=
+    // sum over messages of (hops x (payload + max header)).
+    proto->write(0, 9 * 4, 1);
+    proto->read(5, 9 * 4);
+    proto->write(6, 9 * 4, 2);
+    Bits msg_bits = proto->messageCounters().totalBits();
+    Bits link_bits = net.linkStats().totalBits();
+    unsigned hops = net.hopCount();
+    EXPECT_LE(link_bits,
+              (msg_bits + 64) * hops + 64 * hops);
+    EXPECT_GT(link_bits, 0u);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Replacement-protocol tests (Sec. 2.2 item 5) with tiny caches
+ * that force evictions, including the ownership hand-off ack/nack
+ * retry loop via the fault-injection hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/omega_network.hh"
+#include "proto/checker.hh"
+#include "proto/stenstrom.hh"
+
+using namespace mscp;
+using namespace mscp::proto;
+using cache::Mode;
+using cache::State;
+
+namespace
+{
+
+class StenstromRepl : public ::testing::Test
+{
+  protected:
+    /** 1-set, 1-way caches: any second block evicts the first. */
+    StenstromRepl()
+        : net(8)
+    {
+        StenstromParams p;
+        p.geometry = cache::Geometry{4, 1, 1};
+        proto = std::make_unique<StenstromProtocol>(net, p);
+    }
+
+    State
+    stateAt(NodeId c, BlockId b) const
+    {
+        const cache::Entry *e = proto->cacheArray(c).find(b);
+        return e ? e->field.state : State::Invalid;
+    }
+
+    void
+    expectClean() const
+    {
+        auto errs = checkInvariants(*proto);
+        EXPECT_TRUE(errs.empty()) << errs.front();
+    }
+
+    net::OmegaNetwork net;
+    std::unique_ptr<StenstromProtocol> proto;
+};
+
+} // anonymous namespace
+
+TEST_F(StenstromRepl, CleanExclusiveEvictionClearsBlockStore)
+{
+    // 5(a), unmodified: control message only, no write-back.
+    proto->read(3, 0 * 4);
+    EXPECT_TRUE(proto->memoryModule(0).blockStore().hasOwner(0));
+    proto->read(3, 1 * 4); // evicts block 0
+    EXPECT_FALSE(proto->memoryModule(0).blockStore().hasOwner(0));
+    EXPECT_EQ(proto->counters().replOwnedExcl, 1u);
+    EXPECT_EQ(proto->counters().writeBacks, 0u);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, DirtyExclusiveEvictionWritesBack)
+{
+    // 5(a), modified: the copy goes back to memory, and a later
+    // read must return the written value.
+    proto->write(3, 0 * 4 + 2, 99);
+    proto->read(3, 1 * 4); // evicts dirty block 0
+    EXPECT_EQ(proto->counters().writeBacks, 1u);
+    EXPECT_EQ(proto->memoryModule(0).readWord(0, 2), 99u);
+    EXPECT_EQ(proto->read(5, 0 * 4 + 2), 99u);
+    EXPECT_EQ(proto->valueErrors(), 0u);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, UnOwnedEvictionClearsPresentFlag)
+{
+    // 5(c): the owner is told (via memory) to clear the P bit and
+    // collapses back to exclusive.
+    proto->read(2, 0 * 4);
+    proto->setMode(2, 0 * 4, Mode::DistributedWrite);
+    proto->read(5, 0 * 4); // UnOwned copy at 5
+    EXPECT_EQ(stateAt(2, 0), State::OwnedNonExclDW);
+    proto->read(5, 1 * 4); // evicts the UnOwned copy
+    EXPECT_EQ(proto->counters().replUnOwned, 1u);
+    EXPECT_EQ(stateAt(2, 0), State::OwnedExclDW);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, PointerEvictionClearsPresentFlag)
+{
+    // 5(c) for an Invalid (OWNER-pointer) entry in GR mode.
+    proto->read(2, 0 * 4);
+    proto->read(5, 0 * 4); // pointer at 5
+    EXPECT_EQ(stateAt(2, 0), State::OwnedNonExclGR);
+    proto->read(5, 1 * 4); // evicts the pointer entry
+    EXPECT_EQ(proto->counters().replInvalid, 1u);
+    EXPECT_EQ(stateAt(2, 0), State::OwnedExclGR);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, OwnerEvictionHandsOffOwnershipDW)
+{
+    // 5(b) in DW mode: an UnOwned copy accepts ownership; the
+    // evicting cache's P bit is cleared.
+    proto->read(2, 0 * 4);
+    proto->setMode(2, 0 * 4, Mode::DistributedWrite);
+    proto->read(5, 0 * 4);
+    proto->write(2, 0 * 4, 7); // ensure data flows with the block
+    proto->read(2, 1 * 4);     // evicts the owner copy at 2
+    EXPECT_EQ(proto->counters().replOwnedNonExcl, 1u);
+    EXPECT_EQ(proto->memoryModule(0).blockStore().owner(0), 5u);
+    EXPECT_EQ(stateAt(5, 0), State::OwnedExclDW);
+    EXPECT_EQ(proto->read(5, 0 * 4), 7u);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, OwnerEvictionHandsOffOwnershipGR)
+{
+    // 5(b) in GR mode: a pointer holder accepts ownership and
+    // receives copy + state; other pointer holders are re-aimed.
+    // Use 3 sharers so a second pointer remains after hand-off.
+    proto->write(2, 0 * 4, 31);
+    proto->read(5, 0 * 4);
+    proto->read(6, 0 * 4);
+    EXPECT_EQ(stateAt(2, 0), State::OwnedNonExclGR);
+    proto->read(2, 1 * 4); // evicts the owner at 2
+    NodeId new_owner = proto->memoryModule(0).blockStore().owner(0);
+    EXPECT_TRUE(new_owner == 5 || new_owner == 6);
+    EXPECT_TRUE(cache::isOwned(stateAt(new_owner, 0)));
+    NodeId other = (new_owner == 5) ? 6 : 5;
+    const auto *oe = proto->cacheArray(other).find(0);
+    ASSERT_NE(oe, nullptr);
+    EXPECT_EQ(oe->field.owner, new_owner);
+    EXPECT_EQ(proto->read(other, 0 * 4), 31u);
+    EXPECT_EQ(proto->valueErrors(), 0u);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, HandoffRetriesAfterNack)
+{
+    // Fault injection: the first candidate nacks; the retry loop
+    // must try the next one.
+    proto->read(2, 0 * 4);
+    proto->setMode(2, 0 * 4, Mode::DistributedWrite);
+    proto->read(5, 0 * 4);
+    proto->read(6, 0 * 4);
+    proto->setNackInjector([](NodeId cand, BlockId) {
+        return cand == 5; // 5 refuses
+    });
+    proto->read(2, 1 * 4); // evicts the owner
+    EXPECT_EQ(proto->counters().handoffNacks, 1u);
+    EXPECT_EQ(proto->memoryModule(0).blockStore().owner(0), 6u);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, AllNackFallbackInvalidatesAndWritesBack)
+{
+    // Terminal rule: every candidate nacks -> invalidate copies,
+    // write back, clear the block store.
+    proto->write(2, 0 * 4 + 1, 88);
+    proto->setMode(2, 0 * 4, Mode::DistributedWrite);
+    proto->read(5, 0 * 4);
+    proto->setNackInjector([](NodeId, BlockId) { return true; });
+    proto->read(2, 1 * 4); // evicts the owner
+    EXPECT_EQ(proto->counters().handoffFallbacks, 1u);
+    EXPECT_FALSE(proto->memoryModule(0).blockStore().hasOwner(0));
+    EXPECT_EQ(proto->cacheArray(5).find(0), nullptr);
+    EXPECT_EQ(proto->memoryModule(0).readWord(0, 1), 88u);
+    proto->setNackInjector(nullptr);
+    EXPECT_EQ(proto->read(6, 0 * 4 + 1), 88u);
+    EXPECT_EQ(proto->valueErrors(), 0u);
+    expectClean();
+}
+
+TEST_F(StenstromRepl, ThrashingKeepsValuesCoherent)
+{
+    // Two cpus ping-pong over three blocks mapping to the same
+    // (only) set; every access evicts something.
+    for (int round = 0; round < 10; ++round) {
+        for (BlockId b = 0; b < 3; ++b) {
+            proto->write(0, b * 4,
+                         static_cast<std::uint64_t>(
+                             100 * round + b));
+            EXPECT_EQ(proto->read(1, b * 4),
+                      static_cast<std::uint64_t>(100 * round + b));
+        }
+    }
+    EXPECT_EQ(proto->valueErrors(), 0u);
+    EXPECT_GT(proto->counters().replacements, 0u);
+    expectClean();
+}

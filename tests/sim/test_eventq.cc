@@ -1,0 +1,125 @@
+/** @file Unit tests for the deterministic event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/logging.hh"
+
+using namespace mscp;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule([&] { order.push_back(3); }, 30);
+    eq.schedule([&] { order.push_back(1); }, 10);
+    eq.schedule([&] { order.push_back(2); }, 20);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule([&order, i] { order.push_back(i); }, 5);
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule([&] {
+        eq.scheduleIn([&] { seen = eq.curTick(); }, 7);
+    }, 10);
+    eq.run();
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule([&] { fired = true; }, 5);
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id)); // second time: already gone
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DescheduleAfterFiringFails)
+{
+    EventQueue eq;
+    EventId id = eq.schedule([] {}, 1);
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, RunRespectsMaxTicks)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule([&] { ++fired; }, 10);
+    eq.schedule([&] { ++fired; }, 20);
+    eq.schedule([&] { ++fired; }, 30);
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(chain, 1);
+    };
+    eq.schedule(chain, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.curTick(), 4u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule([] {}, 10);
+    eq.step();
+    EXPECT_THROW(eq.schedule([] {}, 5), PanicError);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule([] {}, 10);
+    eq.schedule([] {}, 20);
+    eq.step();
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+TEST(EventQueue, NextTickReportsEarliestEvent)
+{
+    EventQueue eq;
+    eq.schedule([] {}, 42);
+    eq.schedule([] {}, 17);
+    EXPECT_EQ(eq.nextTick(), 17u);
+}

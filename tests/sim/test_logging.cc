@@ -1,0 +1,59 @@
+/** @file Unit tests for logging, debug flags and error paths. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace mscp;
+
+TEST(Csprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+    EXPECT_EQ(csprintf("%05u", 42u), "00042");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(Panic, ThrowsWithLocationAndMessage)
+{
+    try {
+        panic("boom %d", 3);
+        FAIL() << "panic returned";
+    } catch (const PanicError &e) {
+        EXPECT_NE(e.message.find("boom 3"), std::string::npos);
+        EXPECT_NE(e.message.find("test_logging.cc"),
+                  std::string::npos);
+    }
+}
+
+TEST(Fatal, ThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(PanicIf, FiresOnlyWhenConditionHolds)
+{
+    EXPECT_NO_THROW(panic_if(false, "no"));
+    EXPECT_THROW(panic_if(true, "yes"), PanicError);
+    EXPECT_NO_THROW(fatal_if(false, "no"));
+    EXPECT_THROW(fatal_if(true, "yes"), FatalError);
+}
+
+TEST(DebugFlags, EnableDisable)
+{
+    debug::clear();
+    EXPECT_FALSE(debug::enabled("Coherence"));
+    debug::enable("Coherence");
+    EXPECT_TRUE(debug::enabled("Coherence"));
+    EXPECT_FALSE(debug::enabled("Network"));
+    debug::disable("Coherence");
+    EXPECT_FALSE(debug::enabled("Coherence"));
+}
+
+TEST(DebugFlags, AllEnablesEverything)
+{
+    debug::clear();
+    debug::enable("All");
+    EXPECT_TRUE(debug::enabled("Anything"));
+    debug::clear();
+    EXPECT_FALSE(debug::enabled("Anything"));
+}

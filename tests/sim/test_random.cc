@@ -1,0 +1,103 @@
+/** @file Unit tests for the random source. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace mscp;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Random, ReseedRestartsStream)
+{
+    Random a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a.uniform(0, 99));
+    a.seed(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.uniform(0, 99), first[static_cast<size_t>(i)]);
+}
+
+TEST(Random, UniformStaysInBounds)
+{
+    Random r(1);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, UniformBadRangePanics)
+{
+    Random r(1);
+    EXPECT_THROW(r.uniform(5, 4), PanicError);
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random r(3);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, BernoulliRate)
+{
+    Random r(5);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Random, SampleWithoutReplacement)
+{
+    Random r(9);
+    auto s = r.sampleWithoutReplacement(100, 10);
+    EXPECT_EQ(s.size(), 10u);
+    std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (auto v : s)
+        EXPECT_LT(v, 100u);
+    for (std::size_t i = 1; i < s.size(); ++i)
+        EXPECT_LT(s[i - 1], s[i]);
+}
+
+TEST(Random, SampleAllElements)
+{
+    Random r(11);
+    auto s = r.sampleWithoutReplacement(8, 8);
+    EXPECT_EQ(s.size(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(s[i], i);
+}
+
+TEST(Random, SampleTooManyPanics)
+{
+    Random r(1);
+    EXPECT_THROW(r.sampleWithoutReplacement(4, 5), PanicError);
+}
+
+TEST(Random, ShufflePermutes)
+{
+    Random r(13);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    r.shuffle(v);
+    EXPECT_EQ(v.size(), orig.size());
+    std::set<int> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), orig.size());
+}

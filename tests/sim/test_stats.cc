@@ -1,0 +1,128 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace mscp::stats;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Group g("top");
+    Scalar s(&g, "count", "a counter");
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s -= 1;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s = 10;
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    g.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Vector, TotalsAndSubnames)
+{
+    Group g("top");
+    Vector v(&g, "vec", "per-thing", 3);
+    v[0] = 1;
+    v[1] = 2;
+    v[2] = 3;
+    EXPECT_DOUBLE_EQ(v.total(), 6.0);
+    v.setSubnames({"a", "b", "c"});
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("top.vec::b"), std::string::npos);
+    EXPECT_NE(os.str().find("top.vec::total"), std::string::npos);
+}
+
+TEST(Vector, OutOfRangeThrows)
+{
+    Group g("top");
+    Vector v(&g, "vec", "", 2);
+    EXPECT_THROW(v[5] = 1, std::out_of_range);
+}
+
+TEST(Average, TracksMinMeanMax)
+{
+    Group g("top");
+    Average a(&g, "avg", "");
+    a.sample(2);
+    a.sample(4);
+    a.sample(9);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsSamples)
+{
+    Group g("top");
+    Distribution d(&g, "dist", "", 0, 99, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(-1);   // underflow
+    d.sample(1000); // overflow
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 2u);
+}
+
+TEST(Distribution, MomentsAreCorrect)
+{
+    Group g("top");
+    Distribution d(&g, "dist", "", 0, 100, 1);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stdev(), 2.0, 1e-9);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    Group g("top");
+    Scalar num(&g, "hits", "");
+    Scalar den(&g, "refs", "");
+    Formula ratio(&g, "ratio", "hit ratio", [&] {
+        return den.value() ? num.value() / den.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    num = 3;
+    den = 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+}
+
+TEST(Group, HierarchicalNamesInDump)
+{
+    Group top("sys");
+    Group child("cache0", &top);
+    Scalar s(&child, "misses", "cache misses");
+    s = 7;
+    std::ostringstream os;
+    top.dump(os);
+    EXPECT_NE(os.str().find("sys.cache0.misses"), std::string::npos);
+    EXPECT_NE(os.str().find("cache misses"), std::string::npos);
+}
+
+TEST(Group, ResetRecurses)
+{
+    Group top("sys");
+    Group child("c", &top);
+    Scalar a(&top, "a", "");
+    Scalar b(&child, "b", "");
+    a = 1;
+    b = 2;
+    top.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
