@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multicast.dir/bench_ablation_multicast.cc.o"
+  "CMakeFiles/bench_ablation_multicast.dir/bench_ablation_multicast.cc.o.d"
+  "bench_ablation_multicast"
+  "bench_ablation_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

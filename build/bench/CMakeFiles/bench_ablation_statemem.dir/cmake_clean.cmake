@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_statemem.dir/bench_ablation_statemem.cc.o"
+  "CMakeFiles/bench_ablation_statemem.dir/bench_ablation_statemem.cc.o.d"
+  "bench_ablation_statemem"
+  "bench_ablation_statemem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_statemem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

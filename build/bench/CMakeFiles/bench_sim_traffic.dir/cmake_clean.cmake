@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_traffic.dir/bench_sim_traffic.cc.o"
+  "CMakeFiles/bench_sim_traffic.dir/bench_sim_traffic.cc.o.d"
+  "bench_sim_traffic"
+  "bench_sim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_solver.dir/matrix_solver.cpp.o"
+  "CMakeFiles/matrix_solver.dir/matrix_solver.cpp.o.d"
+  "matrix_solver"
+  "matrix_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_explorer.dir/multicast_explorer.cpp.o"
+  "CMakeFiles/multicast_explorer.dir/multicast_explorer.cpp.o.d"
+  "multicast_explorer"
+  "multicast_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/multicast_cost.cc" "src/analytic/CMakeFiles/mscp_analytic.dir/multicast_cost.cc.o" "gcc" "src/analytic/CMakeFiles/mscp_analytic.dir/multicast_cost.cc.o.d"
+  "/root/repo/src/analytic/protocol_cost.cc" "src/analytic/CMakeFiles/mscp_analytic.dir/protocol_cost.cc.o" "gcc" "src/analytic/CMakeFiles/mscp_analytic.dir/protocol_cost.cc.o.d"
+  "/root/repo/src/analytic/radix_cost.cc" "src/analytic/CMakeFiles/mscp_analytic.dir/radix_cost.cc.o" "gcc" "src/analytic/CMakeFiles/mscp_analytic.dir/radix_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mscp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

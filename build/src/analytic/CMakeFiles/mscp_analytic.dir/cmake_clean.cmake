@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_analytic.dir/multicast_cost.cc.o"
+  "CMakeFiles/mscp_analytic.dir/multicast_cost.cc.o.d"
+  "CMakeFiles/mscp_analytic.dir/protocol_cost.cc.o"
+  "CMakeFiles/mscp_analytic.dir/protocol_cost.cc.o.d"
+  "CMakeFiles/mscp_analytic.dir/radix_cost.cc.o"
+  "CMakeFiles/mscp_analytic.dir/radix_cost.cc.o.d"
+  "libmscp_analytic.a"
+  "libmscp_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_cache.dir/block_state.cc.o"
+  "CMakeFiles/mscp_cache.dir/block_state.cc.o.d"
+  "CMakeFiles/mscp_cache.dir/cache_array.cc.o"
+  "CMakeFiles/mscp_cache.dir/cache_array.cc.o.d"
+  "libmscp_cache.a"
+  "libmscp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

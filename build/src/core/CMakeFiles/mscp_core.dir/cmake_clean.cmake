@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_core.dir/experiment.cc.o"
+  "CMakeFiles/mscp_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mscp_core.dir/mode_policy.cc.o"
+  "CMakeFiles/mscp_core.dir/mode_policy.cc.o.d"
+  "CMakeFiles/mscp_core.dir/scheme_select.cc.o"
+  "CMakeFiles/mscp_core.dir/scheme_select.cc.o.d"
+  "CMakeFiles/mscp_core.dir/stats_bridge.cc.o"
+  "CMakeFiles/mscp_core.dir/stats_bridge.cc.o.d"
+  "CMakeFiles/mscp_core.dir/system.cc.o"
+  "CMakeFiles/mscp_core.dir/system.cc.o.d"
+  "libmscp_core.a"
+  "libmscp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

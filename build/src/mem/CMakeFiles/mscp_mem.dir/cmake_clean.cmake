@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_mem.dir/memory_module.cc.o"
+  "CMakeFiles/mscp_mem.dir/memory_module.cc.o.d"
+  "libmscp_mem.a"
+  "libmscp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link_stats.cc" "src/net/CMakeFiles/mscp_net.dir/link_stats.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/link_stats.cc.o.d"
+  "/root/repo/src/net/omega_network.cc" "src/net/CMakeFiles/mscp_net.dir/omega_network.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/omega_network.cc.o.d"
+  "/root/repo/src/net/radix_network.cc" "src/net/CMakeFiles/mscp_net.dir/radix_network.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/radix_network.cc.o.d"
+  "/root/repo/src/net/radix_topology.cc" "src/net/CMakeFiles/mscp_net.dir/radix_topology.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/radix_topology.cc.o.d"
+  "/root/repo/src/net/route.cc" "src/net/CMakeFiles/mscp_net.dir/route.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/route.cc.o.d"
+  "/root/repo/src/net/timed_network.cc" "src/net/CMakeFiles/mscp_net.dir/timed_network.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/timed_network.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/mscp_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/mscp_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mscp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

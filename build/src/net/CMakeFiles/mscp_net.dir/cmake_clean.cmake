@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_net.dir/link_stats.cc.o"
+  "CMakeFiles/mscp_net.dir/link_stats.cc.o.d"
+  "CMakeFiles/mscp_net.dir/omega_network.cc.o"
+  "CMakeFiles/mscp_net.dir/omega_network.cc.o.d"
+  "CMakeFiles/mscp_net.dir/radix_network.cc.o"
+  "CMakeFiles/mscp_net.dir/radix_network.cc.o.d"
+  "CMakeFiles/mscp_net.dir/radix_topology.cc.o"
+  "CMakeFiles/mscp_net.dir/radix_topology.cc.o.d"
+  "CMakeFiles/mscp_net.dir/route.cc.o"
+  "CMakeFiles/mscp_net.dir/route.cc.o.d"
+  "CMakeFiles/mscp_net.dir/timed_network.cc.o"
+  "CMakeFiles/mscp_net.dir/timed_network.cc.o.d"
+  "CMakeFiles/mscp_net.dir/topology.cc.o"
+  "CMakeFiles/mscp_net.dir/topology.cc.o.d"
+  "libmscp_net.a"
+  "libmscp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

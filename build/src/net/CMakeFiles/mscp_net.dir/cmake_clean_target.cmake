@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmscp_net.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/checker.cc" "src/proto/CMakeFiles/mscp_proto.dir/checker.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/checker.cc.o.d"
+  "/root/repo/src/proto/concurrent.cc" "src/proto/CMakeFiles/mscp_proto.dir/concurrent.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/concurrent.cc.o.d"
+  "/root/repo/src/proto/dragon.cc" "src/proto/CMakeFiles/mscp_proto.dir/dragon.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/dragon.cc.o.d"
+  "/root/repo/src/proto/full_map.cc" "src/proto/CMakeFiles/mscp_proto.dir/full_map.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/full_map.cc.o.d"
+  "/root/repo/src/proto/message.cc" "src/proto/CMakeFiles/mscp_proto.dir/message.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/message.cc.o.d"
+  "/root/repo/src/proto/no_cache.cc" "src/proto/CMakeFiles/mscp_proto.dir/no_cache.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/no_cache.cc.o.d"
+  "/root/repo/src/proto/protocol.cc" "src/proto/CMakeFiles/mscp_proto.dir/protocol.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/protocol.cc.o.d"
+  "/root/repo/src/proto/stenstrom.cc" "src/proto/CMakeFiles/mscp_proto.dir/stenstrom.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/stenstrom.cc.o.d"
+  "/root/repo/src/proto/write_once.cc" "src/proto/CMakeFiles/mscp_proto.dir/write_once.cc.o" "gcc" "src/proto/CMakeFiles/mscp_proto.dir/write_once.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mscp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mscp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mscp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mscp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mscp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_proto.dir/checker.cc.o"
+  "CMakeFiles/mscp_proto.dir/checker.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/concurrent.cc.o"
+  "CMakeFiles/mscp_proto.dir/concurrent.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/dragon.cc.o"
+  "CMakeFiles/mscp_proto.dir/dragon.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/full_map.cc.o"
+  "CMakeFiles/mscp_proto.dir/full_map.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/message.cc.o"
+  "CMakeFiles/mscp_proto.dir/message.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/no_cache.cc.o"
+  "CMakeFiles/mscp_proto.dir/no_cache.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/protocol.cc.o"
+  "CMakeFiles/mscp_proto.dir/protocol.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/stenstrom.cc.o"
+  "CMakeFiles/mscp_proto.dir/stenstrom.cc.o.d"
+  "CMakeFiles/mscp_proto.dir/write_once.cc.o"
+  "CMakeFiles/mscp_proto.dir/write_once.cc.o.d"
+  "libmscp_proto.a"
+  "libmscp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_sim.dir/eventq.cc.o"
+  "CMakeFiles/mscp_sim.dir/eventq.cc.o.d"
+  "CMakeFiles/mscp_sim.dir/logging.cc.o"
+  "CMakeFiles/mscp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/mscp_sim.dir/random.cc.o"
+  "CMakeFiles/mscp_sim.dir/random.cc.o.d"
+  "CMakeFiles/mscp_sim.dir/stats.cc.o"
+  "CMakeFiles/mscp_sim.dir/stats.cc.o.d"
+  "libmscp_sim.a"
+  "libmscp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_timed.dir/timed_system.cc.o"
+  "CMakeFiles/mscp_timed.dir/timed_system.cc.o.d"
+  "libmscp_timed.a"
+  "libmscp_timed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/matrix.cc" "src/workload/CMakeFiles/mscp_workload.dir/matrix.cc.o" "gcc" "src/workload/CMakeFiles/mscp_workload.dir/matrix.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/workload/CMakeFiles/mscp_workload.dir/patterns.cc.o" "gcc" "src/workload/CMakeFiles/mscp_workload.dir/patterns.cc.o.d"
+  "/root/repo/src/workload/placement.cc" "src/workload/CMakeFiles/mscp_workload.dir/placement.cc.o" "gcc" "src/workload/CMakeFiles/mscp_workload.dir/placement.cc.o.d"
+  "/root/repo/src/workload/shared_block.cc" "src/workload/CMakeFiles/mscp_workload.dir/shared_block.cc.o" "gcc" "src/workload/CMakeFiles/mscp_workload.dir/shared_block.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/mscp_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/mscp_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mscp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscp_workload.dir/matrix.cc.o"
+  "CMakeFiles/mscp_workload.dir/matrix.cc.o.d"
+  "CMakeFiles/mscp_workload.dir/patterns.cc.o"
+  "CMakeFiles/mscp_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/mscp_workload.dir/placement.cc.o"
+  "CMakeFiles/mscp_workload.dir/placement.cc.o.d"
+  "CMakeFiles/mscp_workload.dir/shared_block.cc.o"
+  "CMakeFiles/mscp_workload.dir/shared_block.cc.o.d"
+  "CMakeFiles/mscp_workload.dir/trace.cc.o"
+  "CMakeFiles/mscp_workload.dir/trace.cc.o.d"
+  "libmscp_workload.a"
+  "libmscp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

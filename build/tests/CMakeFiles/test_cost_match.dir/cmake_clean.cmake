@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_match.dir/net/test_cost_match.cc.o"
+  "CMakeFiles/test_cost_match.dir/net/test_cost_match.cc.o.d"
+  "test_cost_match"
+  "test_cost_match.pdb"
+  "test_cost_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mode_policy.dir/core/test_mode_policy.cc.o"
+  "CMakeFiles/test_mode_policy.dir/core/test_mode_policy.cc.o.d"
+  "test_mode_policy"
+  "test_mode_policy.pdb"
+  "test_mode_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mode_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

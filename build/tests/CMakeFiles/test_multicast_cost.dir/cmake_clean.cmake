@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicast_cost.dir/analytic/test_multicast_cost.cc.o"
+  "CMakeFiles/test_multicast_cost.dir/analytic/test_multicast_cost.cc.o.d"
+  "test_multicast_cost"
+  "test_multicast_cost.pdb"
+  "test_multicast_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicast_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

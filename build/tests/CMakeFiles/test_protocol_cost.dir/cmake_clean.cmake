@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_cost.dir/analytic/test_protocol_cost.cc.o"
+  "CMakeFiles/test_protocol_cost.dir/analytic/test_protocol_cost.cc.o.d"
+  "test_protocol_cost"
+  "test_protocol_cost.pdb"
+  "test_protocol_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

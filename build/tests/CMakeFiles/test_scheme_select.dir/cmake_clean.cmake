@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_select.dir/core/test_scheme_select.cc.o"
+  "CMakeFiles/test_scheme_select.dir/core/test_scheme_select.cc.o.d"
+  "test_scheme_select"
+  "test_scheme_select.pdb"
+  "test_scheme_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

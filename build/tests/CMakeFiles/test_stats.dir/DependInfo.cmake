@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_stats.cc" "tests/CMakeFiles/test_stats.dir/sim/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/sim/test_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timed/CMakeFiles/mscp_timed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mscp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/mscp_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mscp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mscp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mscp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mscp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mscp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mscp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_bridge.dir/core/test_stats_bridge.cc.o"
+  "CMakeFiles/test_stats_bridge.dir/core/test_stats_bridge.cc.o.d"
+  "test_stats_bridge"
+  "test_stats_bridge.pdb"
+  "test_stats_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stenstrom_basic.dir/proto/test_stenstrom_basic.cc.o"
+  "CMakeFiles/test_stenstrom_basic.dir/proto/test_stenstrom_basic.cc.o.d"
+  "test_stenstrom_basic"
+  "test_stenstrom_basic.pdb"
+  "test_stenstrom_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stenstrom_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

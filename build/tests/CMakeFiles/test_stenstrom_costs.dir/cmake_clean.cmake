@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stenstrom_costs.dir/proto/test_stenstrom_costs.cc.o"
+  "CMakeFiles/test_stenstrom_costs.dir/proto/test_stenstrom_costs.cc.o.d"
+  "test_stenstrom_costs"
+  "test_stenstrom_costs.pdb"
+  "test_stenstrom_costs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stenstrom_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

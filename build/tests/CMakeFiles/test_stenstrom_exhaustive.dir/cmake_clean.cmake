@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stenstrom_exhaustive.dir/proto/test_stenstrom_exhaustive.cc.o"
+  "CMakeFiles/test_stenstrom_exhaustive.dir/proto/test_stenstrom_exhaustive.cc.o.d"
+  "test_stenstrom_exhaustive"
+  "test_stenstrom_exhaustive.pdb"
+  "test_stenstrom_exhaustive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stenstrom_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

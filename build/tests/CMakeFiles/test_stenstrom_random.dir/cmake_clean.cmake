@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stenstrom_random.dir/proto/test_stenstrom_random.cc.o"
+  "CMakeFiles/test_stenstrom_random.dir/proto/test_stenstrom_random.cc.o.d"
+  "test_stenstrom_random"
+  "test_stenstrom_random.pdb"
+  "test_stenstrom_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stenstrom_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stenstrom_replacement.dir/proto/test_stenstrom_replacement.cc.o"
+  "CMakeFiles/test_stenstrom_replacement.dir/proto/test_stenstrom_replacement.cc.o.d"
+  "test_stenstrom_replacement"
+  "test_stenstrom_replacement.pdb"
+  "test_stenstrom_replacement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stenstrom_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

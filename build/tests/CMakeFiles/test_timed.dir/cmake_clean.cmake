@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed.dir/net/test_timed.cc.o"
+  "CMakeFiles/test_timed.dir/net/test_timed.cc.o.d"
+  "test_timed"
+  "test_timed.pdb"
+  "test_timed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_system.dir/timed/test_timed_system.cc.o"
+  "CMakeFiles/test_timed_system.dir/timed/test_timed_system.cc.o.d"
+  "test_timed_system"
+  "test_timed_system.pdb"
+  "test_timed_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
