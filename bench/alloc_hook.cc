@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Global allocation counter for bench binaries.
+ *
+ * Linked into bench targets only (see CMakeLists.txt): overrides
+ * the global operator new/delete family to tally every heap
+ * allocation into core::detail::allocTally, which BenchJson reports
+ * as the "allocations" field. Tests and the library itself do not
+ * link this file, so their allocation behavior is untouched.
+ */
+
+#include <cstdlib>
+#include <new>
+
+#include "core/bench_json.hh"
+
+namespace
+{
+
+void *
+countedAlloc(std::size_t sz)
+{
+    mscp::core::detail::allocTally.fetch_add(
+        1, std::memory_order_relaxed);
+    if (void *p = std::malloc(sz ? sz : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+} // anonymous namespace
+
+void *operator new(std::size_t sz) { return countedAlloc(sz); }
+void *operator new[](std::size_t sz) { return countedAlloc(sz); }
+
+void *
+operator new(std::size_t sz, const std::nothrow_t &) noexcept
+{
+    mscp::core::detail::allocTally.fetch_add(
+        1, std::memory_order_relaxed);
+    return std::malloc(sz ? sz : 1);
+}
+
+void *
+operator new[](std::size_t sz, const std::nothrow_t &) noexcept
+{
+    mscp::core::detail::allocTally.fetch_add(
+        1, std::memory_order_relaxed);
+    return std::malloc(sz ? sz : 1);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

@@ -8,41 +8,39 @@
  * the atomic engine's message count, and (b) execution time and
  * latency, which only the concurrent engine can report with
  * overlapping transactions.
+ *
+ * Both engines per write fraction are independent seeded sweep
+ * points fanned over the sweep runner's thread pool.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "net/omega_network.hh"
-#include "proto/concurrent.hh"
-#include "proto/stenstrom.hh"
-#include "workload/placement.hh"
-#include "workload/shared_block.hh"
-#include "workload/trace.hh"
+#include "core/bench_json.hh"
+#include "core/sweep.hh"
 
 using namespace mscp;
-using namespace mscp::proto;
+using core::EngineKind;
 
 namespace
 {
 
 constexpr unsigned numPorts = 32;
-constexpr unsigned blockWords = 4;
 constexpr unsigned tasks = 8;
 constexpr std::uint64_t refsPerRun = 6000;
 
-std::vector<workload::MemRef>
-makeTrace(double w, std::uint64_t seed)
+core::SweepPoint
+point(EngineKind engine, double w)
 {
-    workload::SharedBlockParams p;
-    p.placement = workload::adjacentPlacement(tasks);
-    p.writeFraction = w;
-    p.numBlocks = 2;
-    p.blockWords = blockWords;
-    p.baseAddr = static_cast<Addr>(numPorts - 2) * blockWords;
-    p.numRefs = refsPerRun;
-    p.seed = seed;
-    workload::SharedBlockWorkload gen(p);
-    return workload::collect(gen);
+    core::SweepPoint pt;
+    pt.engine = engine;
+    pt.numPorts = numPorts;
+    pt.tasks = tasks;
+    pt.writeFraction = w;
+    pt.numBlocks = 2;
+    pt.numRefs = refsPerRun;
+    pt.seed = 42;
+    return pt;
 }
 
 } // anonymous namespace
@@ -50,6 +48,17 @@ makeTrace(double w, std::uint64_t seed)
 int
 main()
 {
+    core::BenchJson bench("concurrent");
+
+    const std::vector<double> writeFractions{0.05, 0.2, 0.5, 0.8};
+    std::vector<core::SweepPoint> points;
+    for (double w : writeFractions) {
+        points.push_back(point(EngineKind::AtomicTwoMode, w));
+        points.push_back(point(EngineKind::Concurrent, w));
+    }
+
+    auto results = core::runSweep(points);
+
     std::printf("# Atomic vs message-level concurrent engine, "
                 "N=%u, n=%u tasks, %llu refs\n\n",
                 numPorts, tasks,
@@ -59,49 +68,34 @@ main()
                 "makespan", "rd-lat", "wr-lat", "queued",
                 "ptrNack");
 
-    for (double w : {0.05, 0.2, 0.5, 0.8}) {
-        auto refs = makeTrace(w, 42);
-
-        std::uint64_t atomic_msgs;
-        {
-            net::OmegaNetwork net(numPorts);
-            StenstromParams sp;
-            sp.geometry = cache::Geometry{blockWords, 16, 2};
-            StenstromProtocol atomic(net, sp);
-            workload::TracePlayer tp(refs);
-            auto res = atomic.run(tp);
-            if (res.valueErrors)
-                std::printf("# WARNING: atomic value errors\n");
-            atomic_msgs = atomic.messageCounters().totalCount();
-        }
-
-        net::OmegaNetwork net(numPorts);
-        ConcurrentParams cp;
-        cp.geometry = cache::Geometry{blockWords, 16, 2};
-        ConcurrentProtocol conc(net, cp);
-        workload::TracePlayer tp(refs);
-        auto res = conc.run(tp);
-        if (res.valueErrors)
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i < writeFractions.size(); ++i) {
+        const core::SweepResult &atom = results[2 * i];
+        const core::SweepResult &conc = results[2 * i + 1];
+        if (atom.valueErrors)
+            std::printf("# WARNING: atomic value errors\n");
+        if (conc.valueErrors)
             std::printf("# WARNING: concurrent value errors\n");
-
-        auto conc_msgs = conc.messageCounters().totalCount();
+        events += conc.events;
         std::printf("%6.2f | %10llu %10llu %6.2fx | %10llu %9.1f "
-                    "%9.1f %8llu %8llu\n", w,
-                    static_cast<unsigned long long>(atomic_msgs),
-                    static_cast<unsigned long long>(conc_msgs),
-                    static_cast<double>(conc_msgs) /
-                        static_cast<double>(atomic_msgs),
-                    static_cast<unsigned long long>(res.makespan),
-                    res.avgReadLatency, res.avgWriteLatency,
+                    "%9.1f %8llu %8llu\n", writeFractions[i],
+                    static_cast<unsigned long long>(atom.messages),
+                    static_cast<unsigned long long>(conc.messages),
+                    static_cast<double>(conc.messages) /
+                        static_cast<double>(atom.messages),
+                    static_cast<unsigned long long>(conc.makespan),
+                    conc.avgReadLatency, conc.avgWriteLatency,
                     static_cast<unsigned long long>(
-                        conc.counters().homeQueued),
+                        conc.homeQueued),
                     static_cast<unsigned long long>(
-                        conc.counters().pointerNacks));
+                        conc.pointerNacks));
     }
 
     std::printf("\n# the concurrency machinery (acks, unblocks, "
                 "retries) costs a bounded message\n"
                 "# overhead; the protocol's decisions and the "
                 "paper's traffic shapes are unchanged.\n");
+
+    bench.finish(points.size(), events);
     return 0;
 }

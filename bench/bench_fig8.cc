@@ -11,82 +11,46 @@
  * the measured no-cache cost at w = 0, demonstrating that the
  * protocol's traffic follows the analytic shape: the adaptive
  * two-mode engine tracks min(DW, GR) and stays below no-cache and
- * below write-once's peak.
+ * below write-once's peak. The measured grid is fanned over the
+ * sweep runner's thread pool.
  */
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
+#include "core/bench_json.hh"
 #include "core/experiment.hh"
-#include "core/system.hh"
-#include "net/omega_network.hh"
-#include "proto/no_cache.hh"
-#include "proto/write_once.hh"
-#include "workload/placement.hh"
-#include "workload/shared_block.hh"
+#include "core/sweep.hh"
 
 using namespace mscp;
+using core::EngineKind;
 
 namespace
 {
 
 constexpr unsigned numPorts = 64;
-constexpr unsigned blockWords = 4;
 constexpr unsigned tasks = 8;
 constexpr std::uint64_t refsPerRun = 20000;
 
-workload::SharedBlockWorkload
-stream(double w)
+constexpr EngineKind columns[] = {
+    EngineKind::NoCache, EngineKind::WriteOnce,
+    EngineKind::TwoModeForceDW, EngineKind::TwoModeForceGR,
+    EngineKind::TwoModeAdaptive,
+};
+
+core::SweepPoint
+point(EngineKind engine, double w)
 {
-    workload::SharedBlockParams p;
-    p.placement = workload::adjacentPlacement(tasks);
-    p.writeFraction = w;
-    p.numBlocks = 1;
-    p.blockWords = blockWords;
+    core::SweepPoint pt;
+    pt.engine = engine;
+    pt.numPorts = numPorts;
+    pt.tasks = tasks;
+    pt.writeFraction = w;
+    pt.numBlocks = 1;
     // Home the block outside the task cluster (remote memory).
-    p.baseAddr = static_cast<Addr>(numPorts - 1) * blockWords;
-    p.numRefs = refsPerRun;
-    return workload::SharedBlockWorkload(p);
-}
-
-double
-bitsPerRef(proto::RunResult r)
-{
-    return static_cast<double>(r.networkBits) /
-        static_cast<double>(r.refs);
-}
-
-double
-runStenstrom(core::PolicyKind policy, double w)
-{
-    core::SystemConfig cfg;
-    cfg.numPorts = numPorts;
-    cfg.geometry = cache::Geometry{blockWords, 16, 2};
-    cfg.policy = policy;
-    cfg.adaptWindow = 16;
-    core::System sys(cfg);
-    auto s = stream(w);
-    return bitsPerRef(sys.run(s));
-}
-
-double
-runNoCache(double w)
-{
-    net::OmegaNetwork net(numPorts);
-    proto::NoCacheProtocol p(net, proto::MessageSizes{}, blockWords);
-    auto s = stream(w);
-    return bitsPerRef(p.run(s));
-}
-
-double
-runWriteOnce(double w)
-{
-    net::OmegaNetwork net(numPorts);
-    proto::WriteOnceProtocol p(net, proto::MessageSizes{},
-                               blockWords);
-    auto s = stream(w);
-    return bitsPerRef(p.run(s));
+    pt.numRefs = refsPerRun;
+    return pt;
 }
 
 } // anonymous namespace
@@ -94,13 +58,26 @@ runWriteOnce(double w)
 int
 main()
 {
+    core::BenchJson bench("fig8");
+
     // Part 1: analytic curves.
     const std::vector<double> sharers{4, 8, 16, 32, 64};
     core::printFig8(std::cout, sharers,
                     core::fig8Series(sharers, 20));
     std::cout.flush();
 
-    // Part 2: measured counterpart.
+    // Part 2: measured counterpart. Point 0 is the w=0 no-cache
+    // run that defines the normalization unit.
+    const std::vector<double> writeFractions{
+        0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+    std::vector<core::SweepPoint> points;
+    points.push_back(point(EngineKind::NoCache, 0.0));
+    for (double w : writeFractions)
+        for (EngineKind engine : columns)
+            points.push_back(point(engine, w));
+
+    auto results = core::runSweep(points);
+
     std::printf("\n# Simulated counterpart: N=%u ports, n=%u tasks, "
                 "%llu refs/point, shared block with remote home\n",
                 numPorts, tasks,
@@ -110,21 +87,19 @@ main()
     std::printf("%6s %10s %10s %10s %10s %10s\n", "w", "no-cache",
                 "write-1x", "force-dw", "force-gr", "adaptive");
 
-    double unit = runNoCache(0.0) / 2.0; // one read = 2 cost units
-    for (double w : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+    double unit = results[0].bitsPerRef() / 2.0; // read = 2 units
+    std::size_t idx = 1;
+    for (double w : writeFractions) {
+        double cols[std::size(columns)];
+        for (std::size_t c = 0; c < std::size(columns); ++c)
+            cols[c] = results[idx++].bitsPerRef() / unit;
         std::printf("%6.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
-                    w,
-                    runNoCache(w) / unit,
-                    runWriteOnce(w) / unit,
-                    runStenstrom(core::PolicyKind::ForceDW, w) /
-                        unit,
-                    runStenstrom(core::PolicyKind::ForceGR, w) /
-                        unit,
-                    runStenstrom(core::PolicyKind::Adaptive, w) /
-                        unit);
+                    w, cols[0], cols[1], cols[2], cols[3], cols[4]);
     }
     std::printf("\n# expected shape: adaptive ~ min(force-dw, "
                 "force-gr) < no-cache; write-once peaks near "
                 "w=0.5\n");
+
+    bench.finish(points.size(), 0);
     return 0;
 }

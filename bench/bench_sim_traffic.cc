@@ -9,20 +9,20 @@
  * This is the executable generalization of Fig. 8: it shows who
  * wins where, with real block transfers, ownership moves and
  * replacement traffic included.
+ *
+ * All grid points are independent seeded runs fanned over the
+ * sweep runner's thread pool (MSCP_THREADS); the printed table is
+ * bit-identical for any thread count.
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "core/system.hh"
-#include "net/omega_network.hh"
-#include "proto/dragon.hh"
-#include "proto/full_map.hh"
-#include "proto/no_cache.hh"
-#include "proto/write_once.hh"
-#include "workload/placement.hh"
-#include "workload/shared_block.hh"
+#include "core/bench_json.hh"
+#include "core/sweep.hh"
 
 using namespace mscp;
+using core::EngineKind;
 
 namespace
 {
@@ -31,52 +31,24 @@ constexpr unsigned numPorts = 64;
 constexpr unsigned blockWords = 4;
 constexpr std::uint64_t refsPerRun = 15000;
 
-workload::SharedBlockWorkload
-stream(double w, unsigned tasks)
-{
-    workload::SharedBlockParams p;
-    p.placement = workload::adjacentPlacement(tasks);
-    p.writeFraction = w;
-    p.numBlocks = 4;
-    p.blockWords = blockWords;
-    p.baseAddr = static_cast<Addr>(numPorts - 4) * blockWords;
-    p.numRefs = refsPerRun;
-    return workload::SharedBlockWorkload(p);
-}
+constexpr EngineKind columns[] = {
+    EngineKind::NoCache, EngineKind::WriteOnce, EngineKind::FullMap,
+    EngineKind::Dragon, EngineKind::TwoModeForceDW,
+    EngineKind::TwoModeForceGR, EngineKind::TwoModeAdaptive,
+};
 
-double
-perRef(proto::RunResult r)
+core::SweepPoint
+point(EngineKind engine, double w, unsigned tasks)
 {
-    return static_cast<double>(r.networkBits) /
-        static_cast<double>(r.refs);
-}
-
-template <typename Proto>
-double
-runBaseline(double w, unsigned tasks)
-{
-    net::OmegaNetwork net(numPorts);
-    Proto p(net, proto::MessageSizes{}, blockWords);
-    auto s = stream(w, tasks);
-    auto res = p.run(s);
-    if (res.valueErrors)
-        std::printf("# WARNING: %llu value errors\n",
-                    static_cast<unsigned long long>(
-                        res.valueErrors));
-    return perRef(res);
-}
-
-double
-runTwoMode(core::PolicyKind k, double w, unsigned tasks)
-{
-    core::SystemConfig cfg;
-    cfg.numPorts = numPorts;
-    cfg.geometry = cache::Geometry{blockWords, 16, 2};
-    cfg.policy = k;
-    cfg.adaptWindow = 16;
-    core::System sys(cfg);
-    auto s = stream(w, tasks);
-    return perRef(sys.run(s));
+    core::SweepPoint pt;
+    pt.engine = engine;
+    pt.numPorts = numPorts;
+    pt.blockWords = blockWords;
+    pt.tasks = tasks;
+    pt.writeFraction = w;
+    pt.numBlocks = 4;
+    pt.numRefs = refsPerRun;
+    return pt;
 }
 
 } // anonymous namespace
@@ -84,34 +56,47 @@ runTwoMode(core::PolicyKind k, double w, unsigned tasks)
 int
 main()
 {
+    core::BenchJson bench("sim_traffic");
+
+    const std::vector<unsigned> taskCounts{4, 8, 16, 32};
+    const std::vector<double> writeFractions{
+        0.02, 0.1, 0.2, 0.35, 0.5, 0.75, 0.95};
+
+    std::vector<core::SweepPoint> points;
+    for (unsigned tasks : taskCounts)
+        for (double w : writeFractions)
+            for (EngineKind engine : columns)
+                points.push_back(point(engine, w, tasks));
+
+    auto results = core::runSweep(points);
+
     std::printf("# Protocol traffic comparison (bits per "
                 "reference), N=%u ports, %llu refs/point\n",
                 numPorts,
                 static_cast<unsigned long long>(refsPerRun));
 
-    for (unsigned tasks : {4u, 8u, 16u, 32u}) {
+    std::size_t idx = 0;
+    std::uint64_t events = 0;
+    for (unsigned tasks : taskCounts) {
         std::printf("\n## n = %u sharing tasks\n", tasks);
         std::printf("%6s %10s %10s %10s %10s %10s %10s %10s\n",
                     "w", "no-cache", "write-1x", "full-map",
                     "dragon", "force-dw", "force-gr", "adaptive");
-        for (double w : {0.02, 0.1, 0.2, 0.35, 0.5, 0.75, 0.95}) {
+        for (double w : writeFractions) {
+            double cols[std::size(columns)];
+            for (std::size_t c = 0; c < std::size(columns); ++c) {
+                const core::SweepResult &r = results[idx++];
+                if (r.valueErrors)
+                    std::printf("# WARNING: %llu value errors\n",
+                                static_cast<unsigned long long>(
+                                    r.valueErrors));
+                cols[c] = r.bitsPerRef();
+                events += r.events;
+            }
             std::printf("%6.2f %10.1f %10.1f %10.1f %10.1f %10.1f "
                         "%10.1f %10.1f\n",
-                        w,
-                        runBaseline<proto::NoCacheProtocol>(w,
-                                                            tasks),
-                        runBaseline<proto::WriteOnceProtocol>(
-                            w, tasks),
-                        runBaseline<proto::FullMapProtocol>(w,
-                                                            tasks),
-                        runBaseline<proto::DragonUpdateProtocol>(
-                            w, tasks),
-                        runTwoMode(core::PolicyKind::ForceDW, w,
-                                   tasks),
-                        runTwoMode(core::PolicyKind::ForceGR, w,
-                                   tasks),
-                        runTwoMode(core::PolicyKind::Adaptive, w,
-                                   tasks));
+                        w, cols[0], cols[1], cols[2], cols[3],
+                        cols[4], cols[5], cols[6]);
         }
     }
     std::printf("\n# expected shapes: update protocols (dragon, "
@@ -119,5 +104,7 @@ main()
                 "# protocols (write-1x, full-map) peak mid-w; "
                 "adaptive tracks the lower envelope of the\n"
                 "# two-mode pair and stays below no-cache.\n");
+
+    bench.finish(points.size(), events);
     return 0;
 }

@@ -1,0 +1,117 @@
+#include "bench_json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "sim/pool.hh"
+
+namespace mscp::core
+{
+
+namespace detail
+{
+std::atomic<std::uint64_t> allocTally{0};
+} // namespace detail
+
+std::uint64_t
+allocationCount()
+{
+    return detail::allocTally.load(std::memory_order_relaxed);
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            out.push_back('\\');
+        out.push_back(*s);
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+BenchJson::BenchJson(const char *bench)
+    : name(bench), start(std::chrono::steady_clock::now()),
+      startAllocs(allocationCount())
+{
+}
+
+void
+BenchJson::metric(const char *key, double v)
+{
+    extras.emplace_back(key, formatDouble(v));
+}
+
+void
+BenchJson::metric(const char *key, std::uint64_t v)
+{
+    extras.emplace_back(key, std::to_string(v));
+}
+
+void
+BenchJson::note(const char *key, const char *value)
+{
+    extras.emplace_back(key, "\"" + jsonEscape(value) + "\"");
+}
+
+void
+BenchJson::finish(std::uint64_t runs, std::uint64_t events)
+{
+    const char *path = std::getenv("MSCP_BENCH_JSON");
+    if (!path)
+        return;
+
+    double secs = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    std::uint64_t allocs = allocationCount() - startAllocs;
+    const char *label = std::getenv("MSCP_BENCH_LABEL");
+    if (!label)
+        label = "run";
+
+    std::FILE *f = std::fopen(path, "a");
+    if (!f) {
+        warn("cannot open bench json file %s", path);
+        return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"label\":\"%s\","
+                 "\"threads\":%u,\"wall_seconds\":%s,"
+                 "\"runs\":%llu,\"runs_per_sec\":%s,"
+                 "\"events\":%llu,\"events_per_sec\":%s,"
+                 "\"allocations\":%llu",
+                 jsonEscape(name.c_str()).c_str(),
+                 jsonEscape(label).c_str(),
+                 ThreadPool::defaultThreads(),
+                 formatDouble(secs).c_str(),
+                 static_cast<unsigned long long>(runs),
+                 formatDouble(secs > 0
+                              ? static_cast<double>(runs) / secs
+                              : 0).c_str(),
+                 static_cast<unsigned long long>(events),
+                 formatDouble(secs > 0
+                              ? static_cast<double>(events) / secs
+                              : 0).c_str(),
+                 static_cast<unsigned long long>(allocs));
+    for (const auto &[key, value] : extras) {
+        std::fprintf(f, ",\"%s\":%s", jsonEscape(key.c_str()).c_str(),
+                     value.c_str());
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // namespace mscp::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Machine-readable bench output: one JSON entry per bench process.
+ *
+ * Every bench binary constructs a BenchJson at the top of main and
+ * calls finish() at the end. When the MSCP_BENCH_JSON environment
+ * variable names a file, finish() appends one JSON object on a
+ * single line (JSON Lines) with the bench name, a label (from
+ * MSCP_BENCH_LABEL, default "run"), thread count, wall time,
+ * throughput (runs/sec and events/sec) and the global allocation
+ * tally. Nothing is written - and stdout is never touched - when
+ * the variable is unset, so bench tables stay byte-stable.
+ *
+ * The committed BENCH_*.json files at the repo root accumulate these
+ * lines over time as a performance trajectory; the schema is
+ * documented in DESIGN.md.
+ *
+ * Allocation counting is opt-in per binary: the global
+ * operator new/delete overrides live in bench/alloc_hook.cc, which
+ * only bench targets link. Without the hook the tally stays zero
+ * and allocationCount() reports 0.
+ */
+
+#ifndef MSCP_CORE_BENCH_JSON_HH
+#define MSCP_CORE_BENCH_JSON_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mscp::core
+{
+
+namespace detail
+{
+/** Incremented by the operator-new override in bench/alloc_hook.cc. */
+extern std::atomic<std::uint64_t> allocTally;
+} // namespace detail
+
+/** Heap allocations so far (0 unless the alloc hook is linked). */
+std::uint64_t allocationCount();
+
+/** Collects bench metadata and appends one JSON-lines entry. */
+class BenchJson
+{
+  public:
+    /** @param bench short bench name, e.g. "sim_traffic" */
+    explicit BenchJson(const char *bench);
+
+    /** @{ extra entry fields (optional) */
+    void metric(const char *key, double v);
+    void metric(const char *key, std::uint64_t v);
+    void note(const char *key, const char *value);
+    /** @} */
+
+    /**
+     * Compute wall time and throughput and append the entry to
+     * $MSCP_BENCH_JSON (no-op if unset).
+     *
+     * @param runs independent simulation runs the bench executed
+     * @param events event-queue events executed (0 if none)
+     */
+    void finish(std::uint64_t runs, std::uint64_t events);
+
+  private:
+    std::string name;
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t startAllocs;
+    /** Preformatted "key": value pairs, emitted in order. */
+    std::vector<std::pair<std::string, std::string>> extras;
+};
+
+} // namespace mscp::core
+
+#endif // MSCP_CORE_BENCH_JSON_HH

@@ -1,0 +1,166 @@
+#include "sweep.hh"
+
+#include "proto/concurrent.hh"
+#include "proto/dragon.hh"
+#include "proto/full_map.hh"
+#include "proto/no_cache.hh"
+#include "proto/stenstrom.hh"
+#include "proto/write_once.hh"
+#include "sim/logging.hh"
+#include "workload/placement.hh"
+#include "workload/shared_block.hh"
+
+namespace mscp::core
+{
+
+const char *
+engineKindName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::NoCache: return "no-cache";
+      case EngineKind::WriteOnce: return "write-1x";
+      case EngineKind::FullMap: return "full-map";
+      case EngineKind::Dragon: return "dragon";
+      case EngineKind::TwoModeForceDW: return "force-dw";
+      case EngineKind::TwoModeForceGR: return "force-gr";
+      case EngineKind::TwoModeAdaptive: return "adaptive";
+      case EngineKind::AtomicTwoMode: return "atomic";
+      case EngineKind::Concurrent: return "concurrent";
+    }
+    return "?";
+}
+
+namespace
+{
+
+workload::SharedBlockWorkload
+makeStream(const SweepPoint &pt)
+{
+    workload::SharedBlockParams p;
+    p.placement = workload::adjacentPlacement(pt.tasks);
+    p.writeFraction = pt.writeFraction;
+    p.numBlocks = pt.numBlocks;
+    p.blockWords = pt.blockWords;
+    p.baseAddr = static_cast<Addr>(pt.numPorts - pt.numBlocks) *
+        pt.blockWords;
+    p.numRefs = pt.numRefs;
+    p.seed = pt.seed;
+    return workload::SharedBlockWorkload(p);
+}
+
+template <typename Proto>
+SweepResult
+runBaseline(const SweepPoint &pt)
+{
+    net::OmegaNetwork net(pt.numPorts);
+    Proto proto(net, proto::MessageSizes{}, pt.blockWords);
+    auto stream = makeStream(pt);
+    proto::RunResult r = proto.run(stream);
+    SweepResult out;
+    out.refs = r.refs;
+    out.networkBits = r.networkBits;
+    out.messages = r.messages;
+    out.valueErrors = r.valueErrors;
+    return out;
+}
+
+SweepResult
+runTwoMode(const SweepPoint &pt, PolicyKind policy)
+{
+    SystemConfig cfg;
+    cfg.numPorts = pt.numPorts;
+    cfg.geometry = cache::Geometry{pt.blockWords, pt.sets,
+                                   pt.assoc};
+    cfg.policy = policy;
+    cfg.adaptWindow = pt.adaptWindow;
+    System sys(cfg);
+    auto stream = makeStream(pt);
+    proto::RunResult r = sys.run(stream);
+    SweepResult out;
+    out.refs = r.refs;
+    out.networkBits = r.networkBits;
+    out.messages = r.messages;
+    out.valueErrors = r.valueErrors;
+    return out;
+}
+
+SweepResult
+runAtomic(const SweepPoint &pt)
+{
+    net::OmegaNetwork net(pt.numPorts);
+    proto::StenstromParams sp;
+    sp.geometry = cache::Geometry{pt.blockWords, pt.sets, pt.assoc};
+    proto::StenstromProtocol proto(net, sp);
+    auto stream = makeStream(pt);
+    proto::RunResult r = proto.run(stream);
+    SweepResult out;
+    out.refs = r.refs;
+    out.networkBits = r.networkBits;
+    out.messages = proto.messageCounters().totalCount();
+    out.valueErrors = r.valueErrors;
+    return out;
+}
+
+SweepResult
+runConcurrent(const SweepPoint &pt)
+{
+    net::OmegaNetwork net(pt.numPorts);
+    proto::ConcurrentParams cp;
+    cp.geometry = cache::Geometry{pt.blockWords, pt.sets, pt.assoc};
+    proto::ConcurrentProtocol proto(net, cp);
+    auto stream = makeStream(pt);
+    proto::ConcurrentRunResult r = proto.run(stream);
+    SweepResult out;
+    out.refs = r.refs;
+    out.networkBits = r.networkBits;
+    out.messages = proto.messageCounters().totalCount();
+    out.valueErrors = r.valueErrors;
+    out.makespan = r.makespan;
+    out.avgReadLatency = r.avgReadLatency;
+    out.avgWriteLatency = r.avgWriteLatency;
+    out.events = proto.executedEvents();
+    out.homeQueued = proto.counters().homeQueued;
+    out.pointerNacks = proto.counters().pointerNacks;
+    return out;
+}
+
+} // anonymous namespace
+
+SweepResult
+runPoint(const SweepPoint &pt)
+{
+    switch (pt.engine) {
+      case EngineKind::NoCache:
+        return runBaseline<proto::NoCacheProtocol>(pt);
+      case EngineKind::WriteOnce:
+        return runBaseline<proto::WriteOnceProtocol>(pt);
+      case EngineKind::FullMap:
+        return runBaseline<proto::FullMapProtocol>(pt);
+      case EngineKind::Dragon:
+        return runBaseline<proto::DragonUpdateProtocol>(pt);
+      case EngineKind::TwoModeForceDW:
+        return runTwoMode(pt, PolicyKind::ForceDW);
+      case EngineKind::TwoModeForceGR:
+        return runTwoMode(pt, PolicyKind::ForceGR);
+      case EngineKind::TwoModeAdaptive:
+        return runTwoMode(pt, PolicyKind::Adaptive);
+      case EngineKind::AtomicTwoMode:
+        return runAtomic(pt);
+      case EngineKind::Concurrent:
+        return runConcurrent(pt);
+    }
+    panic("unknown engine kind");
+}
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepPoint> &points,
+         unsigned num_threads)
+{
+    std::vector<SweepResult> results(points.size());
+    ThreadPool::parallelFor(
+        points.size(), num_threads,
+        [&](std::size_t i) { results[i] = runPoint(points[i]); });
+    return results;
+}
+
+} // namespace mscp::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parallel sweep runner: fan independent simulation runs over a
+ * thread pool.
+ *
+ * The paper's evaluation is a grid of independent experiments
+ * (write fraction x sharer count x engine x machine shape). Each
+ * grid point builds its own network, protocol engine and seeded
+ * workload, so points share no mutable state and can execute on any
+ * thread. Results are keyed by point index; because the index ->
+ * point mapping is fixed and every run is seeded, the result vector
+ * is bit-identical regardless of the number of threads (asserted by
+ * tests/core/test_sweep.cc).
+ *
+ * The number of worker threads defaults to MSCP_THREADS or the
+ * hardware concurrency (see sim/pool.hh); one thread executes
+ * inline with no thread machinery.
+ */
+
+#ifndef MSCP_CORE_SWEEP_HH
+#define MSCP_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/pool.hh"
+#include "sim/types.hh"
+
+namespace mscp::core
+{
+
+/** Engine a sweep point runs. */
+enum class EngineKind : std::uint8_t
+{
+    NoCache,        ///< no-cache reference protocol
+    WriteOnce,      ///< write-once baseline
+    FullMap,        ///< full-map directory baseline
+    Dragon,         ///< Dragon-style update baseline
+    TwoModeForceDW, ///< two-mode engine, pinned distributed write
+    TwoModeForceGR, ///< two-mode engine, pinned global read
+    TwoModeAdaptive,///< two-mode engine, Sec. 5 adaptive policy
+    AtomicTwoMode,  ///< two-mode engine, engine-default policy
+    Concurrent,     ///< message-level concurrent engine
+};
+
+/** Printable engine name. */
+const char *engineKindName(EngineKind k);
+
+/**
+ * One independent run: machine shape, workload parameters, engine.
+ * The shared region is homed at the top of the address space
+ * ((numPorts - numBlocks) * blockWords), matching the bench setup.
+ */
+struct SweepPoint
+{
+    EngineKind engine = EngineKind::TwoModeAdaptive;
+    unsigned numPorts = 64;
+    unsigned blockWords = 4;
+    unsigned sets = 16;
+    unsigned assoc = 2;
+    unsigned tasks = 8;
+    double writeFraction = 0.2;
+    unsigned numBlocks = 4;
+    std::uint64_t numRefs = 10000;
+    std::uint64_t seed = 1;        ///< per-run RNG seed
+    std::uint64_t adaptWindow = 16;
+};
+
+/** Result of one sweep point. */
+struct SweepResult
+{
+    std::uint64_t refs = 0;
+    Bits networkBits = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t valueErrors = 0;
+    /** @{ concurrent engine only (zero otherwise) */
+    Tick makespan = 0;
+    double avgReadLatency = 0;
+    double avgWriteLatency = 0;
+    std::uint64_t events = 0;
+    std::uint64_t homeQueued = 0;
+    std::uint64_t pointerNacks = 0;
+    /** @} */
+
+    double
+    bitsPerRef() const
+    {
+        return refs ? static_cast<double>(networkBits) /
+            static_cast<double>(refs) : 0.0;
+    }
+
+    bool operator==(const SweepResult &) const = default;
+};
+
+/** Execute one point (serial helper; thread-safe by construction). */
+SweepResult runPoint(const SweepPoint &pt);
+
+/**
+ * Execute every point, fanned over @p num_threads workers.
+ * results[i] corresponds to points[i] and is bit-identical for any
+ * thread count.
+ */
+std::vector<SweepResult> runSweep(const std::vector<SweepPoint> &points,
+                                  unsigned num_threads =
+                                      ThreadPool::defaultThreads());
+
+} // namespace mscp::core
+
+#endif // MSCP_CORE_SWEEP_HH

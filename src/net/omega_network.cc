@@ -7,9 +7,27 @@
 namespace mscp::net
 {
 
+namespace
+{
+
+/** Explicit-stack DFS frame; shared by the scheme-2/3 fast walks. */
+struct WalkFrame
+{
+    unsigned level;
+    unsigned line;
+    unsigned lo;
+    unsigned hi;
+};
+
+/** Upper bound on DFS stack depth (one pending sibling per stage). */
+constexpr std::size_t MaxWalkDepth = 40;
+
+} // anonymous namespace
+
 OmegaNetwork::OmegaNetwork(unsigned num_ports)
     : topo(num_ports),
-      stats(topo.numLinkLevels(), topo.numPorts())
+      stats(topo.numLinkLevels(), topo.numPorts()),
+      scratchVector(num_ports)
 {
 }
 
@@ -37,23 +55,44 @@ OmegaNetwork::headerBits(Scheme scheme, unsigned level) const
     panic("headerBits on combined scheme");
 }
 
+void
+OmegaNetwork::traceUnicastInto(std::vector<Traversal> &out,
+                               NodeId src, NodeId dst,
+                               Bits payload_bits) const
+{
+    checkPort(src);
+    checkPort(dst);
+    unsigned m = topo.numStages();
+    unsigned line = src;
+    std::int32_t parent = -1;
+    for (unsigned level = 0; level <= m; ++level) {
+        out.push_back({level, line,
+                       payload_bits + headerBits(Scheme::Unicasts,
+                                                 level),
+                       parent});
+        parent = static_cast<std::int32_t>(out.size()) - 1;
+        if (level < m)
+            line = topo.nextLine(line, topo.destBit(dst, level));
+    }
+}
+
 std::vector<Traversal>
 OmegaNetwork::traceUnicast(NodeId src, NodeId dst,
                            Bits payload_bits) const
 {
-    checkPort(src);
-    checkPort(dst);
     std::vector<Traversal> trace;
-    auto lines = topo.path(src, dst);
-    std::int32_t parent = -1;
-    for (unsigned level = 0; level < lines.size(); ++level) {
-        trace.push_back({level, lines[level],
-                         payload_bits + headerBits(Scheme::Unicasts,
-                                                   level),
-                         parent});
-        parent = static_cast<std::int32_t>(trace.size()) - 1;
-    }
+    traceUnicastInto(trace, src, dst, payload_bits);
     return trace;
+}
+
+void
+OmegaNetwork::traceScheme1Into(std::vector<Traversal> &out,
+                               NodeId src,
+                               const std::vector<NodeId> &dests,
+                               Bits payload_bits) const
+{
+    for (NodeId d : dests)
+        traceUnicastInto(out, src, d, payload_bits);
 }
 
 std::vector<Traversal>
@@ -62,30 +101,22 @@ OmegaNetwork::traceScheme1(NodeId src,
                            Bits payload_bits) const
 {
     std::vector<Traversal> trace;
-    for (NodeId d : dests) {
-        auto one = traceUnicast(src, d, payload_bits);
-        auto base = static_cast<std::int32_t>(trace.size());
-        for (auto &t : one) {
-            if (t.parent >= 0)
-                t.parent += base;
-            trace.push_back(t);
-        }
-    }
+    traceScheme1Into(trace, src, dests, payload_bits);
     return trace;
 }
 
-std::vector<Traversal>
-OmegaNetwork::traceScheme2(NodeId src, const DynamicBitset &dests,
-                           Bits payload_bits) const
+void
+OmegaNetwork::traceScheme2Into(std::vector<Traversal> &out,
+                               NodeId src, const DynamicBitset &dests,
+                               Bits payload_bits) const
 {
     checkPort(src);
     panic_if(dests.size() != topo.numPorts(),
              "scheme-2 vector size %zu != N=%u", dests.size(),
              topo.numPorts());
 
-    std::vector<Traversal> trace;
     if (dests.none())
-        return trace;
+        return;
 
     unsigned m = topo.numStages();
 
@@ -98,40 +129,50 @@ OmegaNetwork::traceScheme2(NodeId src, const DynamicBitset &dests,
         std::int32_t parent;
     };
 
-    std::vector<Frame> work;
-    work.push_back({0, src, 0, topo.numPorts(), -1});
+    Frame work[MaxWalkDepth];
+    std::size_t top = 0;
+    work[top++] = {0, src, 0, topo.numPorts(), -1};
 
-    while (!work.empty()) {
-        Frame f = work.back();
-        work.pop_back();
+    while (top) {
+        Frame f = work[--top];
 
-        trace.push_back({f.level, f.line,
-                         payload_bits + headerBits(
-                             Scheme::VectorRouting, f.level),
-                         f.parent});
-        auto self = static_cast<std::int32_t>(trace.size()) - 1;
+        out.push_back({f.level, f.line,
+                       payload_bits + headerBits(
+                           Scheme::VectorRouting, f.level),
+                       f.parent});
+        auto self = static_cast<std::int32_t>(out.size()) - 1;
 
         if (f.level == m)
             continue; // delivered
 
         unsigned mid = f.lo + (f.hi - f.lo) / 2;
+        panic_if(top + 2 > MaxWalkDepth, "walk stack overflow");
         // Output 1 pushed first so output 0 is walked first (LIFO),
         // keeping delivery order ascending within each subtree.
         if (dests.anyInRange(mid, f.hi)) {
-            work.push_back({f.level + 1, topo.nextLine(f.line, 1),
-                            mid, f.hi, self});
+            work[top++] = {f.level + 1, topo.nextLine(f.line, 1),
+                           mid, f.hi, self};
         }
         if (dests.anyInRange(f.lo, mid)) {
-            work.push_back({f.level + 1, topo.nextLine(f.line, 0),
-                            f.lo, mid, self});
+            work[top++] = {f.level + 1, topo.nextLine(f.line, 0),
+                           f.lo, mid, self};
         }
     }
-    return trace;
 }
 
 std::vector<Traversal>
-OmegaNetwork::traceScheme3(NodeId src, const Subcube &cube,
+OmegaNetwork::traceScheme2(NodeId src, const DynamicBitset &dests,
                            Bits payload_bits) const
+{
+    std::vector<Traversal> trace;
+    traceScheme2Into(trace, src, dests, payload_bits);
+    return trace;
+}
+
+void
+OmegaNetwork::traceScheme3Into(std::vector<Traversal> &out,
+                               NodeId src, const Subcube &cube,
+                               Bits payload_bits) const
 {
     checkPort(src);
     panic_if(cube.mask >= topo.numPorts() ||
@@ -147,36 +188,44 @@ OmegaNetwork::traceScheme3(NodeId src, const Subcube &cube,
         std::int32_t parent;
     };
 
-    std::vector<Traversal> trace;
-    std::vector<Frame> work;
-    work.push_back({0, src, -1});
+    Frame work[MaxWalkDepth];
+    std::size_t top = 0;
+    work[top++] = {0, src, -1};
 
-    while (!work.empty()) {
-        Frame f = work.back();
-        work.pop_back();
+    while (top) {
+        Frame f = work[--top];
 
-        trace.push_back({f.level, f.line,
-                         payload_bits + headerBits(
-                             Scheme::BroadcastTag, f.level),
-                         f.parent});
-        auto self = static_cast<std::int32_t>(trace.size()) - 1;
+        out.push_back({f.level, f.line,
+                       payload_bits + headerBits(
+                           Scheme::BroadcastTag, f.level),
+                       f.parent});
+        auto self = static_cast<std::int32_t>(out.size()) - 1;
 
         if (f.level == m)
             continue;
 
         unsigned bit_pos = m - 1 - f.level;
         bool broadcast = (cube.mask >> bit_pos) & 1;
+        panic_if(top + 2 > MaxWalkDepth, "walk stack overflow");
         if (broadcast) {
-            work.push_back({f.level + 1, topo.nextLine(f.line, 1),
-                            self});
-            work.push_back({f.level + 1, topo.nextLine(f.line, 0),
-                            self});
+            work[top++] = {f.level + 1, topo.nextLine(f.line, 1),
+                           self};
+            work[top++] = {f.level + 1, topo.nextLine(f.line, 0),
+                           self};
         } else {
-            unsigned out = (cube.base >> bit_pos) & 1;
-            work.push_back({f.level + 1, topo.nextLine(f.line, out),
-                            self});
+            unsigned out_port = (cube.base >> bit_pos) & 1;
+            work[top++] = {f.level + 1,
+                           topo.nextLine(f.line, out_port), self};
         }
     }
+}
+
+std::vector<Traversal>
+OmegaNetwork::traceScheme3(NodeId src, const Subcube &cube,
+                           Bits payload_bits) const
+{
+    std::vector<Traversal> trace;
+    traceScheme3Into(trace, src, cube, payload_bits);
     return trace;
 }
 
@@ -287,15 +336,210 @@ OmegaNetwork::multicastCombined(NodeId src,
         return RouteResult{std::vector<Bits>(topo.numLinkLevels(), 0),
                            0, 0, {}, 0, Scheme::Combined};
 
-    auto costs = evaluateAllSchemes(src, dests, payload_bits);
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < costs.size(); ++i)
-        if (costs[i].totalBits < costs[best].totalBits)
-            best = i;
+    SchemeCosts costs = schemeCosts(src, dests, payload_bits);
+    Scheme chosen = Scheme::Unicasts;
+    Bits best = costs.scheme1;
+    if (costs.scheme2 < best) {
+        chosen = Scheme::VectorRouting;
+        best = costs.scheme2;
+    }
+    if (costs.scheme3 < best)
+        chosen = Scheme::BroadcastTag;
 
-    Scheme chosen = costs[best].used;
     RouteResult r = multicast(chosen, src, dests, payload_bits);
     return r;
+}
+
+// ---------------------------------------------------------------
+// Allocation-free hot paths
+// ---------------------------------------------------------------
+
+void
+OmegaNetwork::fillScratchVector(const std::vector<NodeId> &dests)
+    const
+{
+    scratchVector.clear();
+    for (NodeId d : dests) {
+        checkPort(d);
+        scratchVector.set(d);
+    }
+}
+
+OmegaNetwork::SchemeCosts
+OmegaNetwork::schemeCosts(NodeId src,
+                          const std::vector<NodeId> &dests,
+                          Bits payload_bits) const
+{
+    checkPort(src);
+    panic_if(dests.empty(), "schemeCosts on an empty set");
+    unsigned m = topo.numStages();
+    unsigned n = topo.numPorts();
+    SchemeCosts c{0, 0, 0};
+
+    // Scheme 1: every unicast crosses m+1 links with m-l header
+    // bits at level l, independent of the endpoints.
+    Bits per_unicast = Bits{m + 1} * payload_bits +
+        Bits{m} * (m + 1) / 2;
+    c.scheme1 = Bits{dests.size()} * per_unicast;
+
+    // Scheme 2: the destination-vector tree. Visit the same nodes
+    // traceScheme2 would, counting bits instead of building
+    // traversals. Tree shape depends only on the range splits.
+    fillScratchVector(dests);
+    {
+        WalkFrame stack[MaxWalkDepth];
+        std::size_t top = 0;
+        stack[top++] = {0, src, 0, n};
+        while (top) {
+            WalkFrame f = stack[--top];
+            c.scheme2 += payload_bits + (Bits{n} >> f.level);
+            if (f.level == m)
+                continue;
+            unsigned mid = f.lo + (f.hi - f.lo) / 2;
+            panic_if(top + 2 > MaxWalkDepth, "walk stack overflow");
+            if (scratchVector.anyInRange(mid, f.hi))
+                stack[top++] = {f.level + 1, 0, mid, f.hi};
+            if (scratchVector.anyInRange(f.lo, mid))
+                stack[top++] = {f.level + 1, 0, f.lo, mid};
+        }
+    }
+
+    // Scheme 3: the broadcast tree doubles at every masked stage.
+    Subcube cube = Subcube::enclosing(dests);
+    Bits width = 1;
+    c.scheme3 = payload_bits + 2 * Bits{m};
+    for (unsigned level = 1; level <= m; ++level) {
+        if ((cube.mask >> (m - level)) & 1)
+            width *= 2;
+        c.scheme3 += width * (payload_bits + 2 * Bits{m - level});
+    }
+    return c;
+}
+
+Bits
+OmegaNetwork::unicastCommit(NodeId src, NodeId dst,
+                            Bits payload_bits)
+{
+    checkPort(src);
+    checkPort(dst);
+    unsigned m = topo.numStages();
+    unsigned line = src;
+    Bits total = 0;
+    for (unsigned level = 0; level <= m; ++level) {
+        Bits bits = payload_bits + (m - level);
+        stats.add(level, line, bits);
+        total += bits;
+        if (level < m)
+            line = topo.nextLine(line, topo.destBit(dst, level));
+    }
+    return total;
+}
+
+Bits
+OmegaNetwork::commitScheme1(NodeId src,
+                            const std::vector<NodeId> &dests,
+                            Bits payload_bits)
+{
+    Bits total = 0;
+    for (NodeId d : dests)
+        total += unicastCommit(src, d, payload_bits);
+    return total;
+}
+
+Bits
+OmegaNetwork::commitScheme2(NodeId src, Bits payload_bits)
+{
+    unsigned m = topo.numStages();
+    unsigned n = topo.numPorts();
+    Bits total = 0;
+    WalkFrame stack[MaxWalkDepth];
+    std::size_t top = 0;
+    stack[top++] = {0, src, 0, n};
+    while (top) {
+        WalkFrame f = stack[--top];
+        Bits bits = payload_bits + (Bits{n} >> f.level);
+        stats.add(f.level, f.line, bits);
+        total += bits;
+        if (f.level == m)
+            continue;
+        unsigned mid = f.lo + (f.hi - f.lo) / 2;
+        panic_if(top + 2 > MaxWalkDepth, "walk stack overflow");
+        if (scratchVector.anyInRange(mid, f.hi)) {
+            stack[top++] = {f.level + 1, topo.nextLine(f.line, 1),
+                            mid, f.hi};
+        }
+        if (scratchVector.anyInRange(f.lo, mid)) {
+            stack[top++] = {f.level + 1, topo.nextLine(f.line, 0),
+                            f.lo, mid};
+        }
+    }
+    return total;
+}
+
+Bits
+OmegaNetwork::commitScheme3(NodeId src, const Subcube &cube,
+                            Bits payload_bits)
+{
+    unsigned m = topo.numStages();
+    Bits total = 0;
+    WalkFrame stack[MaxWalkDepth];
+    std::size_t top = 0;
+    stack[top++] = {0, src, 0, 0};
+    while (top) {
+        WalkFrame f = stack[--top];
+        Bits bits = payload_bits + 2 * Bits{m - f.level};
+        stats.add(f.level, f.line, bits);
+        total += bits;
+        if (f.level == m)
+            continue;
+        unsigned bit_pos = m - 1 - f.level;
+        panic_if(top + 2 > MaxWalkDepth, "walk stack overflow");
+        if ((cube.mask >> bit_pos) & 1) {
+            stack[top++] = {f.level + 1, topo.nextLine(f.line, 1),
+                            0, 0};
+            stack[top++] = {f.level + 1, topo.nextLine(f.line, 0),
+                            0, 0};
+        } else {
+            unsigned out = (cube.base >> bit_pos) & 1;
+            stack[top++] = {f.level + 1,
+                            topo.nextLine(f.line, out), 0, 0};
+        }
+    }
+    return total;
+}
+
+Bits
+OmegaNetwork::multicastCommit(Scheme scheme, NodeId src,
+                              const std::vector<NodeId> &dests,
+                              Bits payload_bits)
+{
+    if (dests.empty())
+        return 0;
+    checkPort(src);
+    switch (scheme) {
+      case Scheme::Unicasts:
+        return commitScheme1(src, dests, payload_bits);
+      case Scheme::VectorRouting:
+        fillScratchVector(dests);
+        return commitScheme2(src, payload_bits);
+      case Scheme::BroadcastTag:
+        return commitScheme3(src, Subcube::enclosing(dests),
+                             payload_bits);
+      case Scheme::Combined: {
+        SchemeCosts costs = schemeCosts(src, dests, payload_bits);
+        if (costs.scheme1 <= costs.scheme2 &&
+            costs.scheme1 <= costs.scheme3) {
+            return commitScheme1(src, dests, payload_bits);
+        }
+        if (costs.scheme2 <= costs.scheme3) {
+            // scratchVector still holds dests from schemeCosts().
+            return commitScheme2(src, payload_bits);
+        }
+        return commitScheme3(src, Subcube::enclosing(dests),
+                             payload_bits);
+      }
+    }
+    panic("unknown scheme");
 }
 
 } // namespace mscp::net

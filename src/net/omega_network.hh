@@ -48,25 +48,40 @@ class OmegaNetwork
     /** Latency in hops of any single delivery (m + 1 links). */
     unsigned hopCount() const { return topo.numStages() + 1; }
 
-    /** @{ Trace builders (no statistics side effects). */
+    /** @{ Trace builders (no statistics side effects).
+     *
+     * The `...Into` forms append to a caller-owned vector so hot
+     * paths can reuse one scratch buffer; the value-returning forms
+     * are convenience wrappers. */
 
     /** Scheme-1 unicast from @p src to @p dst. */
     std::vector<Traversal> traceUnicast(
         NodeId src, NodeId dst, Bits payload_bits) const;
+    void traceUnicastInto(std::vector<Traversal> &out, NodeId src,
+                          NodeId dst, Bits payload_bits) const;
 
     /** Scheme 1: independent unicasts to every destination. */
     std::vector<Traversal> traceScheme1(
         NodeId src, const std::vector<NodeId> &dests,
         Bits payload_bits) const;
+    void traceScheme1Into(std::vector<Traversal> &out, NodeId src,
+                          const std::vector<NodeId> &dests,
+                          Bits payload_bits) const;
 
     /** Scheme 2: destination-vector routing. */
     std::vector<Traversal> traceScheme2(
         NodeId src, const DynamicBitset &dests,
         Bits payload_bits) const;
+    void traceScheme2Into(std::vector<Traversal> &out, NodeId src,
+                          const DynamicBitset &dests,
+                          Bits payload_bits) const;
 
     /** Scheme 3: broadcast-tag routing to a destination subcube. */
     std::vector<Traversal> traceScheme3(
         NodeId src, const Subcube &cube, Bits payload_bits) const;
+    void traceScheme3Into(std::vector<Traversal> &out, NodeId src,
+                          const Subcube &cube,
+                          Bits payload_bits) const;
 
     /** @} */
 
@@ -101,7 +116,47 @@ class OmegaNetwork
         NodeId src, const std::vector<NodeId> &dests,
         Bits payload_bits) const;
 
+    /** Total link-bit cost of each scheme, allocation-free. */
+    struct SchemeCosts
+    {
+        Bits scheme1;
+        Bits scheme2;
+        Bits scheme3;
+    };
+
+    /**
+     * Compute SchemeCosts without materializing traces. Totals are
+     * bit-for-bit identical to evaluate(traceSchemeX(...)).totalBits,
+     * so combined-scheme selection is unchanged; only the work to
+     * decide is. @p dests must be non-empty.
+     */
+    SchemeCosts schemeCosts(NodeId src,
+                            const std::vector<NodeId> &dests,
+                            Bits payload_bits) const;
+
+    /** @{ Committed fast paths (no trace, no RouteResult).
+     *
+     * Hot-path equivalents of unicast()/multicast() for callers that
+     * only need the link statistics updated and the total cost:
+     * identical bits hit identical links, but no vectors are built.
+     * @return total bits committed. */
+    Bits unicastCommit(NodeId src, NodeId dst, Bits payload_bits);
+    Bits multicastCommit(Scheme scheme, NodeId src,
+                         const std::vector<NodeId> &dests,
+                         Bits payload_bits);
+    /** @} */
+
   private:
+    /** @{ per-scheme committed walks (dests non-empty). */
+    Bits commitScheme1(NodeId src, const std::vector<NodeId> &dests,
+                       Bits payload_bits);
+    Bits commitScheme2(NodeId src, Bits payload_bits);
+    Bits commitScheme3(NodeId src, const Subcube &cube,
+                       Bits payload_bits);
+    /** @} */
+
+    /** Load @p dests into the reusable scheme-2 scratch vector. */
+    void fillScratchVector(const std::vector<NodeId> &dests) const;
     /** Bits on a level-@p level link for the given scheme. */
     Bits headerBits(Scheme scheme, unsigned level) const;
 
@@ -109,6 +164,13 @@ class OmegaNetwork
 
     OmegaTopology topo;
     LinkStats stats;
+    /**
+     * Reusable destination-vector scratch for scheme-2 walks. An
+     * OmegaNetwork is single-run state (the parallel sweep gives
+     * every run its own network), so a mutable scratch member is
+     * safe and keeps the hot path allocation-free.
+     */
+    mutable DynamicBitset scratchVector;
 };
 
 } // namespace mscp::net

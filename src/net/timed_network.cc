@@ -13,7 +13,8 @@ TimedNetwork::TimedNetwork(OmegaNetwork &network, EventQueue &eq,
       hopLatency(hop_latency),
       linkFree(static_cast<std::size_t>(
                    network.topology().numLinkLevels()) *
-               network.numPorts(), 0)
+               network.numPorts(), 0),
+      destScratch(network.numPorts())
 {
     fatal_if(link_width_bits == 0, "link width must be positive");
 }
@@ -22,32 +23,36 @@ Tick
 TimedNetwork::send(const std::vector<Traversal> &trace,
                    const DeliveryFn &on_delivery)
 {
-    net.commit(trace);
+    LinkStats &stats = net.linkStats();
 
     // Arrival time at the head of each traversal's link. Parents
     // always precede children in the traces the schemes build, so a
-    // single forward pass resolves the whole tree.
-    std::vector<Tick> done(trace.size(), 0);
+    // single forward pass resolves the whole tree. The bits are
+    // accumulated into the functional statistics in the same pass.
+    doneScratch.assign(trace.size(), 0);
     Tick now = eq.curTick();
     Tick last = now;
     unsigned m = net.numStages();
+    _lastDeliveries = 0;
 
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const Traversal &t = trace[i];
         panic_if(t.parent >= static_cast<std::int32_t>(i),
                  "trace is not topologically ordered");
+        stats.add(t.level, t.line, t.bits);
         Tick ready = t.parent < 0
-            ? now : done[static_cast<std::size_t>(t.parent)];
+            ? now : doneScratch[static_cast<std::size_t>(t.parent)];
         Tick &free = linkFree[linkIndex(t.level, t.line)];
         Tick depart = std::max(ready, free);
         Tick ser = serialization(t.bits);
         free = depart + ser;
-        done[i] = depart + ser + hopLatency;
+        doneScratch[i] = depart + ser + hopLatency;
 
         if (t.level == m) {
             NodeId dst = t.line;
-            Tick when = done[i];
+            Tick when = doneScratch[i];
             last = std::max(last, when);
+            ++_lastDeliveries;
             if (on_delivery)
                 eq.schedule([on_delivery, dst, when] {
                     on_delivery(dst, when);
@@ -61,8 +66,9 @@ Tick
 TimedNetwork::sendUnicast(NodeId src, NodeId dst, Bits payload_bits,
                           const DeliveryFn &on_delivery)
 {
-    return send(net.traceUnicast(src, dst, payload_bits),
-                on_delivery);
+    traceScratch.clear();
+    net.traceUnicastInto(traceScratch, src, dst, payload_bits);
+    return send(traceScratch, on_delivery);
 }
 
 Tick
@@ -71,35 +77,44 @@ TimedNetwork::sendMulticast(Scheme scheme, NodeId src,
                             Bits payload_bits,
                             const DeliveryFn &on_delivery)
 {
-    std::vector<Traversal> trace;
+    traceScratch.clear();
     switch (scheme) {
       case Scheme::Unicasts:
-        trace = net.traceScheme1(src, dests, payload_bits);
+        net.traceScheme1Into(traceScratch, src, dests, payload_bits);
         break;
-      case Scheme::VectorRouting: {
-        DynamicBitset v(net.numPorts());
+      case Scheme::VectorRouting:
+        destScratch.clear();
         for (NodeId d : dests)
-            v.set(d);
-        trace = net.traceScheme2(src, v, payload_bits);
+            destScratch.set(d);
+        net.traceScheme2Into(traceScratch, src, destScratch,
+                             payload_bits);
         break;
-      }
       case Scheme::BroadcastTag:
         if (!dests.empty()) {
-            trace = net.traceScheme3(
-                src, Subcube::enclosing(dests), payload_bits);
+            net.traceScheme3Into(traceScratch, src,
+                                 Subcube::enclosing(dests),
+                                 payload_bits);
         }
         break;
       case Scheme::Combined: {
-        auto costs = net.evaluateAllSchemes(src, dests, payload_bits);
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < costs.size(); ++i)
-            if (costs[i].totalBits < costs[best].totalBits)
-                best = i;
-        return sendMulticast(costs[best].used, src, dests,
-                             payload_bits, on_delivery);
+        if (dests.empty())
+            break;
+        // Same selection rule as OmegaNetwork::multicastCombined:
+        // cheapest total bits, ties toward the lower scheme number.
+        auto costs = net.schemeCosts(src, dests, payload_bits);
+        Scheme chosen = Scheme::Unicasts;
+        Bits best = costs.scheme1;
+        if (costs.scheme2 < best) {
+            chosen = Scheme::VectorRouting;
+            best = costs.scheme2;
+        }
+        if (costs.scheme3 < best)
+            chosen = Scheme::BroadcastTag;
+        return sendMulticast(chosen, src, dests, payload_bits,
+                             on_delivery);
       }
     }
-    return send(trace, on_delivery);
+    return send(traceScratch, on_delivery);
 }
 
 void

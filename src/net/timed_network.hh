@@ -80,6 +80,15 @@ class TimedNetwork
     /** Reset link-busy bookkeeping (not the bit statistics). */
     void resetContention();
 
+    /**
+     * Number of deliveries scheduled by the most recent send (a
+     * scheme-3 multicast can deliver to more ports than requested).
+     * Callers use this to refcount per-message state shared by the
+     * delivery callbacks; deliveries always fire strictly after
+     * send() returns, so reading it right after the call is safe.
+     */
+    std::uint64_t lastDeliveries() const { return _lastDeliveries; }
+
   private:
     std::size_t
     linkIndex(unsigned level, unsigned line) const
@@ -94,6 +103,17 @@ class TimedNetwork
     Tick hopLatency;
     /** Tick at which each link becomes free again. */
     std::vector<Tick> linkFree;
+    std::uint64_t _lastDeliveries = 0;
+    /**
+     * Reusable scratch (a TimedNetwork is single-run state, like the
+     * OmegaNetwork it wraps): per-node completion ticks, the trace
+     * of the convenience senders, and the scheme-2 destination
+     * vector. Deliveries are only scheduled -- never invoked -- from
+     * inside send(), so no reentrant use can clobber them.
+     */
+    std::vector<Tick> doneScratch;
+    std::vector<Traversal> traceScratch;
+    DynamicBitset destScratch;
 };
 
 } // namespace mscp::net

@@ -34,14 +34,17 @@ ConcurrentProtocol::findEntry(NodeId cpu, BlockId blk)
     return cpus[cpu].array.find(blk);
 }
 
-std::vector<NodeId>
-ConcurrentProtocol::othersPresent(const Entry &e, NodeId self) const
+const std::vector<NodeId> &
+ConcurrentProtocol::othersPresent(const Entry &e, NodeId self)
 {
-    std::vector<NodeId> out;
-    for (auto i : e.field.present.setBits())
+    presentScratch.clear();
+    const DynamicBitset &p = e.field.present;
+    for (std::size_t i = p.findFirst(); i < p.size();
+         i = p.findNext(i)) {
         if (i != self)
-            out.push_back(i);
-    return out;
+            presentScratch.push_back(static_cast<NodeId>(i));
+    }
+    return presentScratch;
 }
 
 void
@@ -82,6 +85,61 @@ ConcurrentProtocol::payloadBits(const Msg &m) const
     }
 }
 
+std::uint32_t
+ConcurrentProtocol::allocSlot(Msg &&m)
+{
+    if (freeSlot != NoSlot) {
+        std::uint32_t slot = freeSlot;
+        MsgSlot &s = msgSlab[slot];
+        freeSlot = s.nextFree;
+        s.msg = std::move(m);
+        s.refs = 0;
+        return slot;
+    }
+    std::uint32_t slot = static_cast<std::uint32_t>(msgSlab.size());
+    msgSlab.emplace_back();
+    msgSlab.back().msg = std::move(m);
+    return slot;
+}
+
+void
+ConcurrentProtocol::releaseSlot(std::uint32_t slot)
+{
+    MsgSlot &s = msgSlab[slot];
+    s.refs = 0;
+    s.nextFree = freeSlot;
+    freeSlot = slot;
+}
+
+void
+ConcurrentProtocol::deliverSlot(std::uint32_t slot, NodeId dst)
+{
+    // deliver() can send further messages and grow the slab, so the
+    // message is taken out of the slot (moved on the last delivery,
+    // copied before that) before the handler runs.
+    MsgSlot &s = msgSlab[slot];
+    s.msg.dst = dst;
+    if (s.refs <= 1) {
+        Msg local = std::move(s.msg);
+        releaseSlot(slot);
+        deliver(local);
+    } else {
+        --s.refs;
+        Msg local = s.msg;
+        deliver(local);
+    }
+}
+
+void
+ConcurrentProtocol::scheduleLocal(Msg m, Tick delay)
+{
+    NodeId dst = m.dst;
+    std::uint32_t slot = allocSlot(std::move(m));
+    msgSlab[slot].refs = 1;
+    eq.scheduleIn([this, slot, dst] { deliverSlot(slot, dst); },
+                  delay);
+}
+
 void
 ConcurrentProtocol::send(Msg m)
 {
@@ -89,14 +147,20 @@ ConcurrentProtocol::send(Msg m)
     msgs.record(m.type, total);
     if (m.src == m.dst) {
         // Co-located processor-memory element: local exchange.
-        eq.scheduleIn([this, m] { deliver(m); }, 1);
+        scheduleLocal(std::move(m), 1);
         return;
     }
-    Msg copy = m;
-    timedNet.sendUnicast(m.src, m.dst, total,
-                         [this, copy](NodeId, Tick) {
-                             deliver(copy);
+    NodeId src = m.src;
+    NodeId dst = m.dst;
+    std::uint32_t slot = allocSlot(std::move(m));
+    timedNet.sendUnicast(src, dst, total,
+                         [this, slot](NodeId d, Tick) {
+                             deliverSlot(slot, d);
                          });
+    // Deliveries fire strictly after send() returns, so the
+    // refcount can be installed from the network's tally.
+    msgSlab[slot].refs =
+        static_cast<std::uint32_t>(timedNet.lastDeliveries());
 }
 
 void
@@ -120,13 +184,16 @@ ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
     proto_msg.offset = offset;
     proto_msg.value = value;
     proto_msg.requester = aux_owner;
+    std::uint32_t slot = allocSlot(std::move(proto_msg));
     timedNet.sendMulticast(
         params.multicastScheme, src, dests, total,
-        [this, proto_msg](NodeId dst, Tick) {
-            Msg m = proto_msg;
-            m.dst = dst;
-            deliver(m);
+        [this, slot](NodeId dst, Tick) {
+            deliverSlot(slot, dst);
         });
+    // Scheme 3 can deliver to more ports than requested (subcube
+    // overshoot); the network reports the exact count.
+    msgSlab[slot].refs =
+        static_cast<std::uint32_t>(timedNet.lastDeliveries());
 }
 
 void
@@ -204,7 +271,7 @@ ConcurrentProtocol::startAccess(NodeId cpu)
     BlockId blk = params.geometry.blockOf(cs.ref.addr);
     unsigned off = params.geometry.offsetOf(cs.ref.addr);
 
-    if (cs.clearPending.count(blk)) {
+    if (cs.clearPending.contains(blk)) {
         // A PresentClear for this block is still in flight; do not
         // re-register at the owner until it is acknowledged (the
         // clear could bounce via a NACK re-forward and erase the
@@ -285,12 +352,12 @@ ConcurrentProtocol::performOwnedWrite(NodeId cpu)
     e->field.modified = true;
 
     if (e->field.state == State::OwnedNonExclDW) {
-        auto dests = othersPresent(*e, cpu);
+        const auto &dests = othersPresent(*e, cpu);
         if (!dests.empty()) {
             ++ctrs.dwUpdates;
             cs.ackFrom.clear();
             for (NodeId d : dests)
-                cs.ackFrom.insert(d);
+                cs.ackFrom.set(d);
             cs.pendingAcks = static_cast<unsigned>(dests.size());
             cs.pinnedTx.insert(blk);
             cs.phase = Phase::WaitDwAcks;
@@ -448,7 +515,7 @@ ConcurrentProtocol::sendNextOffer(NodeId cpu)
     if (cs.candIdx >= cs.candidates.size()) {
         // Everyone declined: invalidate the remaining copies, then
         // write back and clear the block store (terminal rule).
-        auto dests = othersPresent(*ve, cpu);
+        const auto &dests = othersPresent(*ve, cpu);
         if (dests.empty()) {
             finishEviction(cpu, true, ve->field.modified);
             return;
@@ -456,7 +523,7 @@ ConcurrentProtocol::sendNextOffer(NodeId cpu)
         ++ctrs.handoffFallbacks;
         cs.ackFrom.clear();
         for (NodeId d : dests)
-            cs.ackFrom.insert(d);
+            cs.ackFrom.set(d);
         cs.pendingAcks = static_cast<unsigned>(dests.size());
         cs.phase = Phase::WaitInvalAcks;
         sendMulticastMsg(MsgType::Invalidate, cpu, dests, 0,
@@ -612,11 +679,15 @@ ConcurrentProtocol::serveForward(const Msg &m)
         e->field.present.clear();
     } else {
         // Announce the new owner to the other pointer holders.
-        std::vector<NodeId> dests;
-        for (auto i : field.present.setBits())
+        announceScratch.clear();
+        const DynamicBitset &p = field.present;
+        for (std::size_t i = p.findFirst(); i < p.size();
+             i = p.findNext(i)) {
             if (i != r && i != me)
-                dests.push_back(i);
-        sendMulticastMsg(MsgType::OwnerAnnounce, me, dests,
+                announceScratch.push_back(static_cast<NodeId>(i));
+        }
+        sendMulticastMsg(MsgType::OwnerAnnounce, me,
+                         announceScratch,
                          params.sizes.ownerIdPayload(numCaches()),
                          m.blk, 0, r, r);
         e->field.state = State::Invalid;
@@ -818,9 +889,10 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
 
       case MsgType::DwAck: {
         if (cs.phase != Phase::WaitDwAcks ||
-            !cs.ackFrom.erase(m.src)) {
+            !cs.ackFrom.test(m.src)) {
             return; // overshoot delivery ack: ignore
         }
+        cs.ackFrom.reset(m.src);
         if (--cs.pendingAcks == 0)
             completeRef(me);
         return;
@@ -847,9 +919,10 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
 
       case MsgType::InvalAck: {
         if (cs.phase != Phase::WaitInvalAcks ||
-            !cs.ackFrom.erase(m.src)) {
+            !cs.ackFrom.test(m.src)) {
             return;
         }
+        cs.ackFrom.reset(m.src);
         if (--cs.pendingAcks == 0) {
             Entry *ve = findEntry(me, cs.victimBlk);
             finishEviction(me, true,
@@ -925,12 +998,16 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             ? State::OwnedNonExclDW : State::OwnedNonExclGR;
 
         if (mode == Mode::GlobalRead) {
-            std::vector<NodeId> dests;
-            for (auto i : field.present.setBits())
+            announceScratch.clear();
+            const DynamicBitset &p = field.present;
+            for (std::size_t i = p.findFirst(); i < p.size();
+                 i = p.findNext(i)) {
                 if (i != m.src)
-                    dests.push_back(i);
+                    announceScratch.push_back(
+                        static_cast<NodeId>(i));
+            }
             sendMulticastMsg(
-                MsgType::OwnerAnnounce, me, dests,
+                MsgType::OwnerAnnounce, me, announceScratch,
                 params.sizes.ownerIdPayload(numCaches()),
                 cs.victimBlk, 0, m.src, m.src);
         }
@@ -983,7 +1060,7 @@ void
 ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
 {
     BlockId blk = m.blk;
-    if (h.busy.count(blk)) {
+    if (h.busy.contains(blk)) {
         h.waiting[blk].push_back(m);
         ++ctrs.homeQueued;
         return;
@@ -1052,16 +1129,17 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
 void
 ConcurrentProtocol::drainHomeQueue(HomeState &h, BlockId blk)
 {
-    auto it = h.waiting.find(blk);
-    while (it != h.waiting.end() && !it->second.empty() &&
-           !h.busy.count(blk)) {
-        Msg m = it->second.front();
-        it->second.pop_front();
+    // Re-find after every request: processing can queue onto this
+    // block again and rehash the waiting table.
+    std::deque<Msg> *q = h.waiting.find(blk);
+    while (q && !q->empty() && !h.busy.contains(blk)) {
+        Msg m = std::move(q->front());
+        q->pop_front();
         processHomeRequest(h, m);
-        it = h.waiting.find(blk);
+        q = h.waiting.find(blk);
     }
-    if (it != h.waiting.end() && it->second.empty())
-        h.waiting.erase(it);
+    if (q && q->empty())
+        h.waiting.erase(blk);
 }
 
 void
@@ -1126,7 +1204,7 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
         retry.toMemory = true;
         retry.blk = blk;
         retry.requester = m.requester;
-        eq.scheduleIn([this, retry] { deliver(retry); }, 20);
+        scheduleLocal(std::move(retry), 20);
         return;
       }
 
@@ -1143,34 +1221,33 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
 void
 ConcurrentProtocol::monitorWritePending(Addr a, std::uint64_t v)
 {
-    pendingWrites[a].insert(v);
+    pendingWrites[a].push_back(v);
 }
 
 void
 ConcurrentProtocol::monitorWriteComplete(Addr a, std::uint64_t v)
 {
     lastCompleted[a] = v;
-    auto it = pendingWrites.find(a);
-    if (it != pendingWrites.end()) {
-        auto vi = it->second.find(v);
-        if (vi != it->second.end())
-            it->second.erase(vi);
-        if (it->second.empty())
-            pendingWrites.erase(it);
+    if (auto *pw = pendingWrites.find(a)) {
+        auto vi = std::find(pw->begin(), pw->end(), v);
+        if (vi != pw->end()) {
+            *vi = pw->back();
+            pw->pop_back();
+        }
+        if (pw->empty())
+            pendingWrites.erase(a);
     }
 }
 
 void
 ConcurrentProtocol::checkReadSample(Addr a, std::uint64_t v)
 {
-    auto lc = lastCompleted.find(a);
-    std::uint64_t completed = lc == lastCompleted.end()
-        ? 0 : lc->second;
+    const std::uint64_t *lc = lastCompleted.find(a);
+    std::uint64_t completed = lc ? *lc : 0;
     if (v == completed)
         return;
-    auto it = pendingWrites.find(a);
-    if (it != pendingWrites.end() &&
-        it->second.count(v))
+    const auto *pw = pendingWrites.find(a);
+    if (pw && std::find(pw->begin(), pw->end(), v) != pw->end())
         return;
     ++_valueErrors;
     warn("concurrent: read @%llu sampled %llu (completed %llu, "

@@ -38,15 +38,15 @@
 #define MSCP_PROTO_CONCURRENT_HH
 
 #include <deque>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "cache/cache_array.hh"
 #include "mem/memory_module.hh"
 #include "net/timed_network.hh"
 #include "proto/message.hh"
+#include "sim/bitset.hh"
 #include "sim/eventq.hh"
+#include "sim/flat.hh"
 #include "workload/ref_stream.hh"
 
 namespace mscp::proto
@@ -115,6 +115,11 @@ class ConcurrentProtocol
     const ConcurrentCounters &counters() const { return ctrs; }
     const MessageCounters &messageCounters() const { return msgs; }
     std::uint64_t valueErrors() const { return _valueErrors; }
+    /** Events executed by the engine's internal queue. */
+    std::uint64_t executedEvents() const
+    {
+        return eq.executedEvents();
+    }
 
     /** @{ introspection (quiescent state only) */
     unsigned numCaches() const
@@ -174,7 +179,7 @@ class ConcurrentProtocol
     struct CpuState
     {
         explicit CpuState(const cache::Geometry &g, unsigned n)
-            : array(g, n)
+            : array(g, n), ackFrom(n)
         {}
 
         cache::CacheArray array;
@@ -186,24 +191,24 @@ class ConcurrentProtocol
         unsigned pendingAcks = 0;
         unsigned pointerRetries = 0;
         /** Caches expected to acknowledge (updates/invalidates). */
-        std::set<NodeId> ackFrom;
+        DynamicBitset ackFrom;
         /** Eviction context. */
         bool evicting = false;
         BlockId victimBlk = 0;
         std::vector<NodeId> candidates;
         std::size_t candIdx = 0;
         /** Block pinned by the cpu's own transaction. */
-        std::set<BlockId> pinnedTx;
+        FlatSet<BlockId> pinnedTx;
         /** Blocks pinned by accepted ownership offers. */
-        std::set<BlockId> pinnedOffer;
+        FlatSet<BlockId> pinnedOffer;
         /** Blocks with an unacknowledged PresentClear in flight;
          *  reacquisition is deferred until the ack arrives. */
-        std::set<BlockId> clearPending;
+        FlatSet<BlockId> clearPending;
 
         bool
         isPinned(BlockId b) const
         {
-            return pinnedTx.count(b) || pinnedOffer.count(b);
+            return pinnedTx.contains(b) || pinnedOffer.contains(b);
         }
     };
 
@@ -215,8 +220,23 @@ class ConcurrentProtocol
         {}
 
         mem::MemoryModule mem;
-        std::set<BlockId> busy;
-        std::map<BlockId, std::deque<Msg>> waiting;
+        FlatSet<BlockId> busy;
+        FlatMap<BlockId, std::deque<Msg>> waiting;
+    };
+
+    /**
+     * Slab slot for a message whose deliveries are still pending.
+     * The delivery callbacks capture only {engine, slot index}, so
+     * they stay within the small-buffer budget of both
+     * net::DeliveryFn and the event queue's InlineFunction: sending
+     * a message performs no per-delivery heap allocation.
+     */
+    static constexpr std::uint32_t NoSlot = ~std::uint32_t{0};
+    struct MsgSlot
+    {
+        Msg msg;
+        std::uint32_t refs = 0;
+        std::uint32_t nextFree = NoSlot;
     };
 
     /** @{ message plumbing */
@@ -227,6 +247,12 @@ class ConcurrentProtocol
                           std::uint64_t value, NodeId aux_owner);
     void deliver(const Msg &m);
     Bits payloadBits(const Msg &m) const;
+    std::uint32_t allocSlot(Msg &&m);
+    void releaseSlot(std::uint32_t slot);
+    /** Deliver slot contents to @p dst; frees on last delivery. */
+    void deliverSlot(std::uint32_t slot, NodeId dst);
+    /** Self/local delivery after @p delay ticks (no network). */
+    void scheduleLocal(Msg m, Tick delay);
     /** @} */
 
     /** @{ cpu-side transaction steps */
@@ -260,8 +286,14 @@ class ConcurrentProtocol
     /** @} */
 
     Entry *findEntry(NodeId cpu, BlockId blk);
-    std::vector<NodeId> othersPresent(const Entry &e,
-                                      NodeId self) const;
+    /**
+     * Present-vector members other than @p self, in a reusable
+     * scratch vector. Valid until the next call; the engine is
+     * strictly single-threaded and callers consume the list before
+     * any code path that could refill it.
+     */
+    const std::vector<NodeId> &othersPresent(const Entry &e,
+                                             NodeId self);
     void maybeExclusive(Entry &e, NodeId self);
 
     ConcurrentParams params;
@@ -274,9 +306,21 @@ class ConcurrentProtocol
     std::vector<CpuState> cpus;
     std::vector<HomeState> homes;
 
-    /** Linearizability monitor state. */
-    std::map<Addr, std::uint64_t> lastCompleted;
-    std::map<Addr, std::multiset<std::uint64_t>> pendingWrites;
+    /** In-flight message slab with an intrusive free list. */
+    std::vector<MsgSlot> msgSlab;
+    std::uint32_t freeSlot = NoSlot;
+
+    /** Scratch lists (see othersPresent). */
+    std::vector<NodeId> presentScratch;
+    std::vector<NodeId> announceScratch;
+
+    /**
+     * Linearizability monitor state. The per-address pending-write
+     * multiset is a plain vector: a handful of values at most (one
+     * outstanding write per cpu), erased by swap-with-last.
+     */
+    FlatMap<Addr, std::uint64_t> lastCompleted;
+    FlatMap<Addr, std::vector<std::uint64_t>> pendingWrites;
     std::uint64_t _valueErrors = 0;
 
     /** Latency accounting. */

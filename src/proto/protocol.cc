@@ -15,7 +15,7 @@ CoherenceProtocol::sendUnicast(MsgType t, NodeId src, NodeId dst,
         recorder({t, src, {dst}, total, net::Scheme::Unicasts});
     if (src == dst)
         return; // co-located processor-memory element
-    net.unicast(src, dst, total);
+    net.unicastCommit(src, dst, total);
 }
 
 void
@@ -30,7 +30,7 @@ CoherenceProtocol::sendMulticast(MsgType t, net::Scheme scheme,
     msgs.record(t, total);
     if (recorder)
         recorder({t, src, dests, total, scheme});
-    net.multicast(scheme, src, dests, total);
+    net.multicastCommit(scheme, src, dests, total);
 }
 
 void

@@ -90,10 +90,21 @@ class DynamicBitset
     {
         panic_if(lo > hi || hi > nbits, "bad bit range [%zu,%zu)",
                  lo, hi);
-        for (std::size_t i = lo; i < hi; ++i)
-            if (test(i))
+        if (lo == hi)
+            return false;
+        std::size_t wlo = lo >> 6;
+        std::size_t whi = (hi - 1) >> 6;
+        std::uint64_t first = ~std::uint64_t{0} << (lo & 63);
+        std::uint64_t last = ~std::uint64_t{0} >>
+            (63 - ((hi - 1) & 63));
+        if (wlo == whi)
+            return (words[wlo] & first & last) != 0;
+        if (words[wlo] & first)
+            return true;
+        for (std::size_t w = wlo + 1; w < whi; ++w)
+            if (words[w])
                 return true;
-        return false;
+        return (words[whi] & last) != 0;
     }
 
     /** Index of the lowest set bit, or size() if none. */
@@ -113,10 +124,21 @@ class DynamicBitset
     std::size_t
     findNext(std::size_t i) const
     {
-        for (std::size_t j = i + 1; j < nbits; ++j)
-            if (test(j))
-                return j;
-        return nbits;
+        std::size_t j = i + 1;
+        if (j >= nbits)
+            return nbits;
+        std::size_t wi = j >> 6;
+        std::uint64_t w = words[wi] &
+            (~std::uint64_t{0} << (j & 63));
+        while (true) {
+            if (w) {
+                return (wi << 6) + static_cast<std::size_t>(
+                    std::countr_zero(w));
+            }
+            if (++wi == words.size())
+                return nbits;
+            w = words[wi];
+        }
     }
 
     /** Indices of all set bits, ascending. */

@@ -1,53 +1,125 @@
 #include "eventq.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace mscp
 {
 
+namespace
+{
+
+constexpr std::size_t Arity = 4;
+
+} // anonymous namespace
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / Arity;
+        if (!heap[i].before(heap[parent]))
+            break;
+        std::swap(heap[i], heap[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    while (true) {
+        std::size_t first = i * Arity + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        std::size_t last = std::min(first + Arity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap[c].before(heap[best]))
+                best = c;
+        }
+        if (!heap[best].before(heap[i]))
+            break;
+        std::swap(heap[i], heap[best]);
+        i = best;
+    }
+}
+
+void
+EventQueue::push(Node n)
+{
+    heap.push_back(std::move(n));
+    siftUp(heap.size() - 1);
+}
+
+EventQueue::Node
+EventQueue::popTop()
+{
+    Node top = std::move(heap.front());
+    heap.front() = std::move(heap.back());
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    return top;
+}
+
+void
+EventQueue::pruneTop()
+{
+    while (!heap.empty() && !pending.contains(heap.front().seq)) {
+        popTop();
+        --tombstones;
+    }
+}
+
 EventId
-EventQueue::schedule(std::function<void()> cb, Tick when)
+EventQueue::schedule(InlineFunction cb, Tick when)
 {
     panic_if(when < _curTick,
              "scheduling event in the past (when=%llu cur=%llu)",
              static_cast<unsigned long long>(when),
              static_cast<unsigned long long>(_curTick));
-    Key key{when, nextSeq++};
-    EventId id = key.seq;
-    events.emplace(key, std::move(cb));
-    idIndex.emplace(id, key);
+    EventId id = nextSeq++;
+    push(Node{when, id, std::move(cb)});
+    pending.insert(id);
     return id;
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    auto it = idIndex.find(id);
-    if (it == idIndex.end())
+    if (!pending.erase(id))
         return false;
-    events.erase(it->second);
-    idIndex.erase(it);
+    ++tombstones;
     return true;
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    return events.empty() ? maxTick : events.begin()->first.when;
+    // The top may be a tombstone; prune without mutating state.
+    // pruneTop() is cheap but non-const, so scan lazily here: a
+    // tombstoned top is rare, and the next live event's tick is
+    // what callers want.
+    EventQueue *self = const_cast<EventQueue *>(this);
+    self->pruneTop();
+    return heap.empty() ? maxTick : heap.front().when;
 }
 
 bool
 EventQueue::step()
 {
-    if (events.empty())
+    pruneTop();
+    if (heap.empty())
         return false;
-    auto it = events.begin();
-    Key key = it->first;
-    std::function<void()> cb = std::move(it->second);
-    events.erase(it);
-    idIndex.erase(key.seq);
-    _curTick = key.when;
-    cb();
+    Node top = popTop();
+    pending.erase(top.seq);
+    _curTick = top.when;
+    ++_executed;
+    top.cb();
     return true;
 }
 
@@ -55,7 +127,10 @@ std::uint64_t
 EventQueue::run(Tick max_ticks)
 {
     std::uint64_t executed = 0;
-    while (!events.empty() && events.begin()->first.when <= max_ticks) {
+    while (true) {
+        pruneTop();
+        if (heap.empty() || heap.front().when > max_ticks)
+            break;
         step();
         ++executed;
     }
@@ -65,10 +140,12 @@ EventQueue::run(Tick max_ticks)
 void
 EventQueue::reset()
 {
-    events.clear();
-    idIndex.clear();
+    heap.clear();
+    pending.clear();
+    tombstones = 0;
     _curTick = 0;
     nextSeq = 0;
+    _executed = 0;
 }
 
 } // namespace mscp

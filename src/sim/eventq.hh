@@ -5,16 +5,24 @@
  * Events scheduled for the same tick fire in schedule order (a
  * monotonically increasing sequence number breaks ties), which keeps
  * simulations reproducible across runs and platforms.
+ *
+ * Implementation: a 4-ary min-heap ordered by (tick, seq). The heap
+ * node embeds the callback (an InlineFunction, so small captures
+ * never touch the heap allocator). deschedule() is lazy: the event's
+ * id is removed from the pending-id set and the heap node becomes a
+ * tombstone that is skipped and reclaimed when it reaches the top.
+ * A descheduled event never fires, and size() never counts
+ * tombstones.
  */
 
 #ifndef MSCP_SIM_EVENTQ_HH
 #define MSCP_SIM_EVENTQ_HH
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <utility>
+#include <vector>
 
+#include "sim/flat.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace mscp
@@ -26,8 +34,9 @@ using EventId = std::uint64_t;
 /**
  * Discrete-event queue with deterministic same-tick ordering.
  *
- * The queue owns no simulation objects; callbacks are plain
- * std::function values. Typical use:
+ * The queue owns no simulation objects; callbacks are any `void()`
+ * callables (captures up to InlineFunction::InlineSize bytes are
+ * stored inline). Typical use:
  *
  *     EventQueue eq;
  *     eq.schedule([&]{ ... }, eq.curTick() + 5);
@@ -43,11 +52,17 @@ class EventQueue
     /** Current simulated time. */
     Tick curTick() const { return _curTick; }
 
-    /** Number of events waiting in the queue. */
-    std::size_t size() const { return events.size(); }
+    /**
+     * Number of live events waiting in the queue. Descheduled
+     * events still occupying tombstone heap slots are not counted.
+     */
+    std::size_t size() const { return heap.size() - tombstones; }
 
-    /** @return true iff no events are pending. */
-    bool empty() const { return events.empty(); }
+    /** @return true iff no live events are pending. */
+    bool empty() const { return size() == 0; }
+
+    /** Events executed since construction (or the last reset()). */
+    std::uint64_t executedEvents() const { return _executed; }
 
     /**
      * Schedule a callback at an absolute tick.
@@ -56,11 +71,11 @@ class EventQueue
      * @param when absolute tick, must be >= curTick()
      * @return handle usable with deschedule()
      */
-    EventId schedule(std::function<void()> cb, Tick when);
+    EventId schedule(InlineFunction cb, Tick when);
 
     /** Schedule a callback @p delay ticks in the future. */
     EventId
-    scheduleIn(std::function<void()> cb, Tick delay)
+    scheduleIn(InlineFunction cb, Tick delay)
     {
         return schedule(std::move(cb), _curTick + delay);
     }
@@ -68,16 +83,22 @@ class EventQueue
     /**
      * Remove a previously scheduled event.
      *
-     * @return true if the event was found and removed, false if it
-     *         already fired or was never scheduled.
+     * The heap slot is tombstoned and reclaimed lazily, but the
+     * event is dead from this call on: it will never fire and no
+     * longer counts toward size().
+     *
+     * @return true if the event was pending and is now removed,
+     *         false if it already fired, was already descheduled,
+     *         or was never scheduled.
      */
     bool deschedule(EventId id);
 
-    /** Tick at which the next event fires, or maxTick if empty. */
+    /** Tick at which the next live event fires, or maxTick. */
     Tick nextTick() const;
 
     /**
-     * Execute a single event (the earliest one), advancing time.
+     * Execute a single event (the earliest live one), advancing
+     * time.
      *
      * @return true if an event was executed.
      */
@@ -95,22 +116,34 @@ class EventQueue
     void reset();
 
   private:
-    struct Key
+    struct Node
     {
         Tick when;
         std::uint64_t seq;
+        InlineFunction cb;
 
         bool
-        operator<(const Key &o) const
+        before(const Node &o) const
         {
             return when != o.when ? when < o.when : seq < o.seq;
         }
     };
 
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void push(Node n);
+    /** Remove the top node; heap must be non-empty. */
+    Node popTop();
+    /** Drop tombstoned nodes off the top of the heap. */
+    void pruneTop();
+
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
-    std::map<Key, std::function<void()>> events;
-    std::map<EventId, Key> idIndex;
+    std::uint64_t _executed = 0;
+    std::size_t tombstones = 0;
+    std::vector<Node> heap;
+    /** Ids of scheduled-and-not-yet-fired, not-descheduled events. */
+    FlatSet<EventId> pending;
 };
 
 } // namespace mscp

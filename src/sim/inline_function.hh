@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Small-buffer move-only callable, the event queue's callback type.
+ *
+ * std::function heap-allocates any capture larger than two pointers,
+ * which made every scheduled event an allocation. InlineFunction
+ * stores captures up to InlineSize bytes inside the object itself
+ * (enough for the simulator's {this, id, tick} lambdas and for a
+ * wrapped std::function delivery callback) and only falls back to
+ * the heap for oversized captures.
+ */
+
+#ifndef MSCP_SIM_INLINE_FUNCTION_HH
+#define MSCP_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mscp
+{
+
+/** Move-only `void()` callable with inline storage. */
+class InlineFunction
+{
+  public:
+    /** Inline capture capacity in bytes. */
+    static constexpr std::size_t InlineSize = 56;
+
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= InlineSize &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (storage()) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            heapPtr() = new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept
+    {
+        moveFrom(std::move(o));
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            moveFrom(std::move(o));
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    void
+    operator()()
+    {
+        ops->invoke(this);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(InlineFunction *);
+        void (*moveTo)(InlineFunction *from, InlineFunction *to);
+        void (*destroy)(InlineFunction *);
+    };
+
+    void *storage() { return buf; }
+    const void *storage() const { return buf; }
+
+    void *&
+    heapPtr()
+    {
+        return *reinterpret_cast<void **>(buf);
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](InlineFunction *self) {
+            (*std::launder(
+                reinterpret_cast<Fn *>(self->storage())))();
+        },
+        [](InlineFunction *from, InlineFunction *to) {
+            Fn *src = std::launder(
+                reinterpret_cast<Fn *>(from->storage()));
+            ::new (to->storage()) Fn(std::move(*src));
+            src->~Fn();
+        },
+        [](InlineFunction *self) {
+            std::launder(
+                reinterpret_cast<Fn *>(self->storage()))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](InlineFunction *self) {
+            (*static_cast<Fn *>(self->heapPtr()))();
+        },
+        [](InlineFunction *from, InlineFunction *to) {
+            to->heapPtr() = from->heapPtr();
+            from->heapPtr() = nullptr;
+        },
+        [](InlineFunction *self) {
+            delete static_cast<Fn *>(self->heapPtr());
+        },
+    };
+
+    void
+    moveFrom(InlineFunction &&o) noexcept
+    {
+        ops = o.ops;
+        if (ops)
+            ops->moveTo(&o, this);
+        o.ops = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        if (ops) {
+            ops->destroy(this);
+            ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[InlineSize];
+    const Ops *ops = nullptr;
+};
+
+} // namespace mscp
+
+#endif // MSCP_SIM_INLINE_FUNCTION_HH

@@ -106,6 +106,8 @@ informImpl(const char *fmt, ...)
 namespace debug
 {
 
+bool anyEnabled = false;
+
 namespace
 {
 
@@ -127,10 +129,14 @@ flagSet()
                     ++p;
             }
         }
+        anyEnabled = !init.empty();
         return init;
     }();
     return flags;
 }
+
+/** Parse MSCP_DEBUG (and set anyEnabled) before main() runs. */
+[[maybe_unused]] const bool flagsInitialized = (flagSet(), true);
 
 } // anonymous namespace
 
@@ -138,12 +144,14 @@ void
 enable(const std::string &flag)
 {
     flagSet().insert(flag);
+    anyEnabled = true;
 }
 
 void
 disable(const std::string &flag)
 {
     flagSet().erase(flag);
+    anyEnabled = !flagSet().empty();
 }
 
 bool
@@ -157,6 +165,7 @@ void
 clear()
 {
     flagSet().clear();
+    anyEnabled = false;
 }
 
 } // namespace debug

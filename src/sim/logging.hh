@@ -76,6 +76,14 @@ bool enabled(const std::string &flag);
 /** Remove all enabled flags. */
 void clear();
 
+/**
+ * True iff at least one debug flag is enabled. DPRINTF reads this
+ * before doing any work, so the disabled case costs one predictable
+ * branch instead of a std::string construction and a set lookup per
+ * call site.
+ */
+extern bool anyEnabled;
+
 } // namespace debug
 
 /** Emit a debug line guarded by a flag. */
@@ -105,6 +113,10 @@ void dprintfImpl(const char *flag, const char *fmt, ...)
 #define warn(...) ::mscp::warnImpl(__VA_ARGS__)
 #define inform(...) ::mscp::informImpl(__VA_ARGS__)
 
-#define DPRINTF(flag, ...) ::mscp::dprintfImpl(flag, __VA_ARGS__)
+#define DPRINTF(flag, ...)                                        \
+    do {                                                          \
+        if (::mscp::debug::anyEnabled)                            \
+            ::mscp::dprintfImpl(flag, __VA_ARGS__);               \
+    } while (0)
 
 #endif // MSCP_SIM_LOGGING_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel work.
+ *
+ * The sweep layer fans independent simulation runs across cores.
+ * Work is an index range; workers claim indices from an atomic
+ * counter, so scheduling is dynamic but the mapping index -> job is
+ * fixed and results keyed by index are identical regardless of the
+ * number of threads (the determinism contract in DESIGN.md).
+ *
+ * numThreads == 1 executes inline on the calling thread with no
+ * thread machinery at all, which keeps single-threaded runs easy to
+ * debug and exactly reproduces the pre-pool serial behavior.
+ */
+
+#ifndef MSCP_SIM_POOL_HH
+#define MSCP_SIM_POOL_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mscp
+{
+
+/** Run @p fn(i) for every i in [0, n), spread over threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * Number of workers to use by default: the MSCP_THREADS
+     * environment variable if set, else the hardware concurrency
+     * (at least 1).
+     */
+    static unsigned
+    defaultThreads()
+    {
+        if (const char *env = std::getenv("MSCP_THREADS")) {
+            long v = std::atol(env);
+            if (v >= 1)
+                return static_cast<unsigned>(v);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+    /**
+     * Execute @p fn(i) for i in [0, n) using @p num_threads
+     * workers (clamped to n). Blocks until every index finished.
+     * The first exception thrown by any job is rethrown on the
+     * calling thread after all workers join.
+     */
+    static void
+    parallelFor(std::size_t n, unsigned num_threads,
+                const std::function<void(std::size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+        if (num_threads == 0)
+            num_threads = 1;
+        if (static_cast<std::size_t>(num_threads) > n)
+            num_threads = static_cast<unsigned>(n);
+
+        if (num_threads == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex errorLock;
+
+        auto worker = [&] {
+            while (!failed.load(std::memory_order_relaxed)) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> g(errorLock);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true);
+                }
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(num_threads - 1);
+        for (unsigned t = 1; t < num_threads; ++t)
+            threads.emplace_back(worker);
+        worker();
+        for (auto &t : threads)
+            t.join();
+
+        if (error)
+            std::rethrow_exception(error);
+    }
+};
+
+} // namespace mscp
+
+#endif // MSCP_SIM_POOL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: the result vector must be
+ * bit-identical for any thread count (the determinism contract the
+ * benches rely on), and runPoint must agree with runSweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sweep.hh"
+
+using namespace mscp;
+using core::EngineKind;
+
+namespace
+{
+
+/** A small mixed-engine grid covering every engine kind. */
+std::vector<core::SweepPoint>
+mixedGrid()
+{
+    std::vector<core::SweepPoint> points;
+    const EngineKind engines[] = {
+        EngineKind::NoCache,        EngineKind::WriteOnce,
+        EngineKind::FullMap,        EngineKind::Dragon,
+        EngineKind::TwoModeForceDW, EngineKind::TwoModeForceGR,
+        EngineKind::TwoModeAdaptive, EngineKind::AtomicTwoMode,
+        EngineKind::Concurrent,
+    };
+    const double writeFractions[] = {0.1, 0.5};
+    for (EngineKind engine : engines) {
+        for (double w : writeFractions) {
+            core::SweepPoint pt;
+            pt.engine = engine;
+            pt.numPorts = 16;
+            pt.tasks = 4;
+            pt.writeFraction = w;
+            pt.numBlocks = 2;
+            pt.numRefs = 400;
+            pt.seed = 7;
+            points.push_back(pt);
+        }
+    }
+    return points;
+}
+
+} // anonymous namespace
+
+TEST(Sweep, ParallelMatchesSerialBitIdentical)
+{
+    auto points = mixedGrid();
+    auto serial = core::runSweep(points, 1);
+    auto threaded = core::runSweep(points, 4);
+    ASSERT_EQ(serial.size(), points.size());
+    ASSERT_EQ(threaded.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(serial[i], threaded[i])
+            << "point " << i << " ("
+            << core::engineKindName(points[i].engine) << ", w="
+            << points[i].writeFraction << ") diverged across "
+            << "thread counts";
+    }
+}
+
+TEST(Sweep, RunSweepMatchesRunPoint)
+{
+    auto points = mixedGrid();
+    auto swept = core::runSweep(points, 3);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(swept[i], core::runPoint(points[i])) << "point " << i;
+}
+
+TEST(Sweep, RepeatedRunsAreReproducible)
+{
+    core::SweepPoint pt;
+    pt.engine = EngineKind::Concurrent;
+    pt.numPorts = 16;
+    pt.tasks = 4;
+    pt.numBlocks = 2;
+    pt.numRefs = 500;
+    pt.seed = 3;
+    auto a = core::runPoint(pt);
+    auto b = core::runPoint(pt);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.refs, 0u);
+    EXPECT_GT(a.networkBits, 0u);
+    EXPECT_EQ(a.valueErrors, 0u);
+    EXPECT_GT(a.events, 0u);
+    EXPECT_GT(a.makespan, 0u);
+}
+
+TEST(Sweep, DifferentSeedsDiverge)
+{
+    core::SweepPoint pt;
+    pt.engine = EngineKind::TwoModeAdaptive;
+    pt.numPorts = 16;
+    pt.tasks = 4;
+    pt.numBlocks = 2;
+    pt.numRefs = 500;
+    pt.seed = 1;
+    auto a = core::runPoint(pt);
+    pt.seed = 2;
+    auto b = core::runPoint(pt);
+    EXPECT_NE(a.networkBits, b.networkBits);
+}
+
+TEST(Sweep, EngineKindNamesAreDistinct)
+{
+    EXPECT_STREQ(core::engineKindName(EngineKind::NoCache),
+                 "no-cache");
+    EXPECT_STRNE(core::engineKindName(EngineKind::TwoModeForceDW),
+                 core::engineKindName(EngineKind::TwoModeForceGR));
+}

@@ -123,3 +123,110 @@ TEST(EventQueue, NextTickReportsEarliestEvent)
     eq.schedule([] {}, 17);
     EXPECT_EQ(eq.nextTick(), 17u);
 }
+
+TEST(EventQueue, SameTickFifoSurvivesInterleavedScheduling)
+{
+    // Schedule bursts at several ticks in shuffled tick order; the
+    // heap must still replay each tick's burst in schedule order.
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> order;
+    const Tick ticks[] = {30, 10, 50, 10, 30, 50, 10, 30, 50, 10};
+    int perTick[64] = {};
+    for (Tick t : ticks) {
+        int k = perTick[t]++;
+        eq.schedule([&order, t, k] { order.emplace_back(t, k); }, t);
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), std::size(ticks));
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        if (order[i - 1].first == order[i].first)
+            EXPECT_EQ(order[i - 1].second + 1, order[i].second);
+        else
+            EXPECT_LT(order[i - 1].first, order[i].first);
+    }
+}
+
+TEST(EventQueue, DescheduledEventNeverFiresUnderStepping)
+{
+    EventQueue eq;
+    int fired = 0;
+    bool doomed = false;
+    eq.schedule([&] { ++fired; }, 1);
+    EventId id = eq.schedule([&] { doomed = true; }, 2);
+    eq.schedule([&] { ++fired; }, 3);
+    EXPECT_EQ(eq.size(), 3u);
+
+    EXPECT_TRUE(eq.deschedule(id));
+    // The tombstone still occupies a heap slot but size() must not
+    // count it.
+    EXPECT_EQ(eq.size(), 2u);
+
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(eq.curTick(), 1u);
+    EXPECT_TRUE(eq.step()); // skips the tombstone, fires tick 3
+    EXPECT_EQ(eq.curTick(), 3u);
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(doomed);
+}
+
+TEST(EventQueue, DescheduleAllLeavesQueueEmpty)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (Tick t = 1; t <= 20; ++t)
+        ids.push_back(eq.schedule([] { FAIL(); }, t));
+    for (EventId id : ids)
+        EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, ResetDuringRunDropsRemainingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule([&] {
+        ++fired;
+        eq.reset();
+        // Post-reset time restarts at zero and scheduling works.
+        eq.schedule([&] { ++fired; }, 2);
+    }, 10);
+    eq.schedule([&] { FAIL() << "survived reset"; }, 20);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 2u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutedEventsCountsFiringsNotDeschedules)
+{
+    EventQueue eq;
+    eq.schedule([] {}, 1);
+    EventId id = eq.schedule([] {}, 2);
+    eq.schedule([] {}, 3);
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 2u);
+    eq.reset();
+    EXPECT_EQ(eq.executedEvents(), 0u);
+}
+
+TEST(EventQueue, HeapOrderUnderManyRandomishTicks)
+{
+    // Deterministic pseudo-random tick pattern: events must come
+    // out in nondecreasing tick order whatever the insert order.
+    EventQueue eq;
+    std::vector<Tick> seen;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 500; ++i) {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        Tick t = x % 97;
+        eq.schedule([&seen, &eq] { seen.push_back(eq.curTick()); }, t);
+    }
+    eq.run();
+    ASSERT_EQ(seen.size(), 500u);
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_LE(seen[i - 1], seen[i]);
+}
