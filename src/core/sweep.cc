@@ -1,5 +1,6 @@
 #include "sweep.hh"
 
+#include "proto/checker.hh"
 #include "proto/concurrent.hh"
 #include "proto/dragon.hh"
 #include "proto/full_map.hh"
@@ -101,12 +102,42 @@ runAtomic(const SweepPoint &pt)
     return out;
 }
 
+/**
+ * Build the recoverable fault plan a soak point describes: drops
+ * hit only requests (the class end-to-end retry re-creates),
+ * duplicates hit requests and replies (absorbed by sequence
+ * numbers and stale-reply guards), random delay hits everything.
+ */
+FaultPlan
+makeFaultPlan(const SweepPoint &pt)
+{
+    FaultPlan plan;
+    plan.seed = pt.faultSeed;
+    plan.of(FaultClass::Request).drop = pt.faultDropRate;
+    plan.of(FaultClass::Request).duplicate = pt.faultDupRate;
+    plan.of(FaultClass::Reply).duplicate = pt.faultDupRate;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(FaultClass::NumClasses);
+         ++c) {
+        FaultRates &r = plan.rates[c];
+        r.delay = pt.faultDelayRate;
+        r.delayMax = pt.faultDelayMax;
+    }
+    return plan;
+}
+
 SweepResult
 runConcurrent(const SweepPoint &pt)
 {
     net::OmegaNetwork net(pt.numPorts);
     proto::ConcurrentParams cp;
     cp.geometry = cache::Geometry{pt.blockWords, pt.sets, pt.assoc};
+    cp.faultPlan = makeFaultPlan(pt);
+    cp.timeoutBase = pt.timeoutBase;
+    cp.maxRetries = pt.maxRetries;
+    cp.jitterSeed = pt.faultSeed ^ 0x7e11;
+    cp.watchdogPeriod = pt.watchdogPeriod;
+    cp.watchdogAge = pt.watchdogAge;
     proto::ConcurrentProtocol proto(net, cp);
     auto stream = makeStream(pt);
     proto::ConcurrentRunResult r = proto.run(stream);
@@ -121,6 +152,27 @@ runConcurrent(const SweepPoint &pt)
     out.events = proto.executedEvents();
     out.homeQueued = proto.counters().homeQueued;
     out.pointerNacks = proto.counters().pointerNacks;
+    out.deadlocks = r.deadlocks;
+    out.timeouts = proto.counters().timeouts;
+    out.retries = proto.counters().retries;
+    out.faultDrops = proto.faultCounters().totalDropped();
+    out.faultDups = proto.faultCounters().totalDuplicated();
+    if (pt.checkEndState && out.deadlocks == 0) {
+        proto::SystemView v;
+        v.numCaches = proto.numCaches();
+        v.cacheArray = [&proto](NodeId c)
+            -> const cache::CacheArray & {
+            return proto.cacheArray(c);
+        };
+        v.memoryModule = [&proto](unsigned i)
+            -> const mem::MemoryModule & {
+            return proto.memoryModule(i);
+        };
+        v.homeOf = [&proto](BlockId b) {
+            return proto.homeOf(b);
+        };
+        out.invariantErrors = proto::checkInvariants(v).size();
+    }
     return out;
 }
 

@@ -65,6 +65,23 @@ struct SweepPoint
     std::uint64_t numRefs = 10000;
     std::uint64_t seed = 1;        ///< per-run RNG seed
     std::uint64_t adaptWindow = 16;
+
+    /** @{ fault soak (concurrent engine only; all off by default).
+     *  The knobs build the recoverable-plan shape: drops on
+     *  requests (the class the timeout retries), duplicates on
+     *  requests and replies, random delay on every class. */
+    double faultDropRate = 0;   ///< request-drop probability
+    double faultDupRate = 0;    ///< request/reply dup probability
+    double faultDelayRate = 0;  ///< extra-delay probability
+    Tick faultDelayMax = 8;     ///< max random extra delay, ticks
+    std::uint64_t faultSeed = 0xfa117;
+    Tick timeoutBase = 0;       ///< 0 = timeouts off
+    unsigned maxRetries = 8;
+    Tick watchdogPeriod = 0;    ///< 0 = watchdog off
+    Tick watchdogAge = 50000;
+    /** Run the end-state invariant checker after a clean run. */
+    bool checkEndState = false;
+    /** @} */
 };
 
 /** Result of one sweep point. */
@@ -81,6 +98,15 @@ struct SweepResult
     std::uint64_t events = 0;
     std::uint64_t homeQueued = 0;
     std::uint64_t pointerNacks = 0;
+    /** @} */
+    /** @{ fault soak (concurrent engine only, zero otherwise) */
+    std::uint64_t deadlocks = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t faultDrops = 0;
+    std::uint64_t faultDups = 0;
+    /** End-state invariant violations (checkEndState only). */
+    std::uint64_t invariantErrors = 0;
     /** @} */
 
     double

@@ -14,6 +14,7 @@ TimedNetwork::TimedNetwork(OmegaNetwork &network, EventQueue &eq,
       linkFree(static_cast<std::size_t>(
                    network.topology().numLinkLevels()) *
                network.numPorts(), 0),
+      portClock(network.numPorts(), 0),
       destScratch(network.numPorts())
 {
     fatal_if(link_width_bits == 0, "link width must be positive");
@@ -48,18 +49,45 @@ TimedNetwork::send(const std::vector<Traversal> &trace,
         free = depart + ser;
         doneScratch[i] = depart + ser + hopLatency;
 
-        if (t.level == m) {
-            NodeId dst = t.line;
-            Tick when = doneScratch[i];
-            last = std::max(last, when);
-            ++_lastDeliveries;
-            if (on_delivery)
-                eq.schedule([on_delivery, dst, when] {
-                    on_delivery(dst, when);
-                }, when);
-        }
+        if (t.level == m)
+            scheduleDelivery(on_delivery, t.line, doneScratch[i],
+                             last);
     }
     return last;
+}
+
+void
+TimedNetwork::scheduleDelivery(const DeliveryFn &on_delivery,
+                               NodeId dst, Tick when, Tick &last)
+{
+    if (faults) {
+        FaultDecision d = faults->decide(dst, when);
+        if (d.drop)
+            return;
+        when += d.extraDelay;
+        // Keep per-channel FIFO: never deliver earlier than the
+        // last delivery already scheduled for this port (see the
+        // portClock comment in the header).
+        Tick &clock = portClock[dst];
+        if (when < clock)
+            when = clock;
+        clock = when;
+        if (d.duplicate) {
+            Tick dup = when + d.dupDelay;
+            last = std::max(last, dup);
+            ++_lastDeliveries;
+            if (on_delivery)
+                eq.schedule([on_delivery, dst, dup] {
+                    on_delivery(dst, dup);
+                }, dup);
+        }
+    }
+    last = std::max(last, when);
+    ++_lastDeliveries;
+    if (on_delivery)
+        eq.schedule([on_delivery, dst, when] {
+            on_delivery(dst, when);
+        }, when);
 }
 
 Tick
@@ -121,6 +149,7 @@ void
 TimedNetwork::resetContention()
 {
     std::fill(linkFree.begin(), linkFree.end(), 0);
+    std::fill(portClock.begin(), portClock.end(), 0);
 }
 
 } // namespace mscp::net

@@ -14,18 +14,24 @@
 #ifndef MSCP_NET_TIMED_NETWORK_HH
 #define MSCP_NET_TIMED_NETWORK_HH
 
-#include <functional>
 #include <vector>
 
 #include "net/omega_network.hh"
 #include "sim/eventq.hh"
+#include "sim/fault.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace mscp::net
 {
 
-/** Per-delivery callback: (destination, arrival tick). */
-using DeliveryFn = std::function<void(NodeId, Tick)>;
+/**
+ * Per-delivery callback: (destination, arrival tick). An inline,
+ * trivially copyable callable (one copy is scheduled per delivery),
+ * so the delivery path performs no heap allocation - enforced at
+ * compile time, see InlineCallback.
+ */
+using DeliveryFn = InlineCallback<NodeId, Tick>;
 
 /** Timing wrapper around OmegaNetwork. */
 class TimedNetwork
@@ -81,6 +87,19 @@ class TimedNetwork
     void resetContention();
 
     /**
+     * Interpose a fault injector on the delivery path. Every
+     * scheduled delivery consults it once; callers of the send
+     * methods need no changes. Detached (or attached with a
+     * disabled plan) the delivery path is byte-identical to a
+     * build without injection. Pass nullptr to detach.
+     */
+    void
+    setFaultInjector(FaultInjector *fi)
+    {
+        faults = (fi && fi->enabled()) ? fi : nullptr;
+    }
+
+    /**
      * Number of deliveries scheduled by the most recent send (a
      * scheme-3 multicast can deliver to more ports than requested).
      * Callers use this to refcount per-message state shared by the
@@ -97,12 +116,30 @@ class TimedNetwork
             net.numPorts() + line;
     }
 
+    /** Schedule one delivery callback, or drop/duplicate it. */
+    void scheduleDelivery(const DeliveryFn &on_delivery, NodeId dst,
+                          Tick when, Tick &last);
+
     OmegaNetwork &net;
     EventQueue &eq;
+    FaultInjector *faults = nullptr;
     Bits linkWidthBits;
     Tick hopLatency;
     /** Tick at which each link becomes free again. */
     std::vector<Tick> linkFree;
+    /**
+     * Per-destination monotone delivery clock, used only while a
+     * fault injector is attached. An omega network has a unique
+     * path per (src, dst) pair and each link is a serial resource,
+     * so without injection two sends on the same channel always
+     * arrive in send order -- an ordering the protocols above rely
+     * on. Injected extra delay could violate it, so each delivery
+     * is clamped to be no earlier than the last one scheduled for
+     * the same destination port: the port itself acts as one more
+     * FIFO resource. Duplicates deliberately do not advance the
+     * clock; an overtaken duplicate is absorbed as stale.
+     */
+    std::vector<Tick> portClock;
     std::uint64_t _lastDeliveries = 0;
     /**
      * Reusable scratch (a TimedNetwork is single-run state, like the

@@ -13,9 +13,13 @@ using cache::State;
 ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
                                        ConcurrentParams p)
     : params(p), net(network),
-      timedNet(network, eq, p.linkWidthBits, p.hopLatency)
+      timedNet(network, eq, p.linkWidthBits, p.hopLatency),
+      injector(p.faultPlan), retryRng(p.jitterSeed)
 {
     params.geometry.check();
+    // Self-gating: a disabled plan detaches and the delivery path
+    // is byte-identical to a build without injection.
+    timedNet.setFaultInjector(&injector);
     unsigned n = network.numPorts();
     cpus.reserve(n);
     homes.reserve(n);
@@ -54,6 +58,55 @@ ConcurrentProtocol::maybeExclusive(Entry &e, NodeId self)
         e.field.state = cache::ownedState(
             cache::modeOf(e.field.state), true);
     }
+}
+
+FaultClass
+ConcurrentProtocol::classOf(MsgType t)
+{
+    switch (t) {
+      case MsgType::LoadReq:
+      case MsgType::LoadOwnReq:
+      case MsgType::OwnReq:
+      case MsgType::EvictReq:
+        return FaultClass::Request;
+      case MsgType::LoadFwd:
+      case MsgType::LoadOwnFwd:
+      case MsgType::OwnFwd:
+      case MsgType::PresentClear:
+        return FaultClass::Forward;
+      case MsgType::DataBlock:
+      case MsgType::Datum:
+      case MsgType::StateXfer:
+      case MsgType::StateCopyXfer:
+      case MsgType::EvictAck:
+        return FaultClass::Reply;
+      case MsgType::DwAck:
+      case MsgType::InvalAck:
+      case MsgType::OfferAck:
+      case MsgType::OfferNack:
+      case MsgType::PresentClearAck:
+      case MsgType::NackNotOwner:
+        return FaultClass::Ack;
+      default:
+        return FaultClass::Control;
+    }
+}
+
+const char *
+ConcurrentProtocol::phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Idle: return "Idle";
+      case Phase::WaitHome: return "WaitHome";
+      case Phase::WaitPointer: return "WaitPointer";
+      case Phase::WaitOwnXfer: return "WaitOwnXfer";
+      case Phase::WaitDwAcks: return "WaitDwAcks";
+      case Phase::WaitEvictAck: return "WaitEvictAck";
+      case Phase::WaitOffer: return "WaitOffer";
+      case Phase::WaitInvalAcks: return "WaitInvalAcks";
+      case Phase::Commit: return "Commit";
+    }
+    return "?";
 }
 
 Bits
@@ -152,15 +205,23 @@ ConcurrentProtocol::send(Msg m)
     }
     NodeId src = m.src;
     NodeId dst = m.dst;
+    injector.setMessageClass(classOf(m.type));
     std::uint32_t slot = allocSlot(std::move(m));
     timedNet.sendUnicast(src, dst, total,
                          [this, slot](NodeId d, Tick) {
                              deliverSlot(slot, d);
                          });
     // Deliveries fire strictly after send() returns, so the
-    // refcount can be installed from the network's tally.
-    msgSlab[slot].refs =
+    // refcount can be installed from the network's tally. Injected
+    // drops can eat every delivery; reclaim the slot then or it
+    // would leak for the rest of the run.
+    std::uint32_t refs =
         static_cast<std::uint32_t>(timedNet.lastDeliveries());
+    if (refs == 0) {
+        releaseSlot(slot);
+        return;
+    }
+    msgSlab[slot].refs = refs;
 }
 
 void
@@ -184,6 +245,7 @@ ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
     proto_msg.offset = offset;
     proto_msg.value = value;
     proto_msg.requester = aux_owner;
+    injector.setMessageClass(classOf(t));
     std::uint32_t slot = allocSlot(std::move(proto_msg));
     timedNet.sendMulticast(
         params.multicastScheme, src, dests, total,
@@ -191,9 +253,15 @@ ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
             deliverSlot(slot, dst);
         });
     // Scheme 3 can deliver to more ports than requested (subcube
-    // overshoot); the network reports the exact count.
-    msgSlab[slot].refs =
+    // overshoot); the network reports the exact count. Zero means
+    // every delivery was dropped by the injector: reclaim the slot.
+    std::uint32_t refs =
         static_cast<std::uint32_t>(timedNet.lastDeliveries());
+    if (refs == 0) {
+        releaseSlot(slot);
+        return;
+    }
+    msgSlab[slot].refs = refs;
 }
 
 void
@@ -206,6 +274,8 @@ ConcurrentProtocol::deliver(const Msg &m)
             static_cast<unsigned long long>(m.blk), m.requester,
             m.offset, static_cast<unsigned long long>(m.value),
             m.flag, m.toMemory ? "mem" : "cache");
+    if (_aborted)
+        return; // watchdog fired: freeze state, let the queue drain
     if (m.toMemory)
         handleMemMsg(m);
     else
@@ -220,12 +290,13 @@ void
 ConcurrentProtocol::issueNext(NodeId cpu)
 {
     CpuState &cs = cpus[cpu];
-    if (cs.active || cs.queue.empty())
+    if (_aborted || cs.active || cs.queue.empty())
         return;
     cs.ref = cs.queue.front();
     cs.queue.pop_front();
     cs.active = true;
     cs.issueTick = eq.curTick();
+    cs.attempts = 0;
     DPRINTF("Concurrent", "t=%llu cpu%u issues %c @%llu val=%llu",
             static_cast<unsigned long long>(eq.curTick()), cpu,
             cs.ref.isWrite ? 'W' : 'R',
@@ -259,7 +330,13 @@ ConcurrentProtocol::completeRef(NodeId cpu)
     cs.pinnedTx.erase(params.geometry.blockOf(cs.ref.addr));
     cs.active = false;
     cs.phase = Phase::Idle;
+    disarmTimeout(cpu);
     --refsOutstanding;
+    if (refsOutstanding == 0 && watchdogArmed) {
+        // Keep the makespan clean: no trailing watchdog scans.
+        eq.deschedule(watchdogEv);
+        watchdogArmed = false;
+    }
     eq.scheduleIn([this, cpu] { issueNext(cpu); },
                   params.thinkTime + 1);
 }
@@ -267,6 +344,8 @@ ConcurrentProtocol::completeRef(NodeId cpu)
 void
 ConcurrentProtocol::startAccess(NodeId cpu)
 {
+    if (_aborted)
+        return; // stop the defer/retry loops so the queue drains
     CpuState &cs = cpus[cpu];
     BlockId blk = params.geometry.blockOf(cs.ref.addr);
     unsigned off = params.geometry.offsetOf(cs.ref.addr);
@@ -286,6 +365,7 @@ ConcurrentProtocol::startAccess(NodeId cpu)
             ++ctrs.readHits;
             cs.array.touch(*e);
             checkReadSample(cs.ref.addr, e->data[off]);
+            cs.phase = Phase::Commit;
             eq.scheduleIn([this, cpu] { completeRef(cpu); },
                           params.hitLatency);
             return;
@@ -304,7 +384,10 @@ ConcurrentProtocol::startAccess(NodeId cpu)
             m.blk = blk;
             m.offset = off;
             m.requester = cpu;
+            m.seq = cs.txSeq = ++cs.seqGen;
+            cs.lastReq = m;
             send(m);
+            armTimeout(cpu);
             return;
         }
         if (!allocateForMiss(cpu, blk))
@@ -330,7 +413,10 @@ ConcurrentProtocol::startAccess(NodeId cpu)
         m.toMemory = true;
         m.blk = blk;
         m.requester = cpu;
+        m.seq = cs.txSeq = ++cs.seqGen;
+        cs.lastReq = m;
         send(m);
+        armTimeout(cpu);
         return;
     }
     if (!allocateForMiss(cpu, blk))
@@ -364,9 +450,11 @@ ConcurrentProtocol::performOwnedWrite(NodeId cpu)
             sendMulticastMsg(MsgType::DwUpdate, cpu, dests,
                              params.sizes.wordBits, blk, off,
                              cs.ref.value, cpu);
+            armTimeout(cpu);
             return;
         }
     }
+    cs.phase = Phase::Commit;
     eq.scheduleIn([this, cpu] { completeRef(cpu); },
                   params.hitLatency);
 }
@@ -428,7 +516,10 @@ ConcurrentProtocol::allocateForMiss(NodeId cpu, BlockId blk)
         m.toMemory = true;
         m.blk = cs.victimBlk;
         m.requester = cpu;
+        m.seq = cs.txSeq = ++cs.seqGen;
+        cs.lastReq = m;
         send(m);
+        armTimeout(cpu);
         return false;
       }
     }
@@ -448,7 +539,10 @@ ConcurrentProtocol::beginMissRequest(NodeId cpu, BlockId blk)
     m.blk = blk;
     m.offset = params.geometry.offsetOf(cs.ref.addr);
     m.requester = cpu;
+    m.seq = cs.txSeq = ++cs.seqGen;
+    cs.lastReq = m;
     send(m);
+    armTimeout(cpu);
 }
 
 void
@@ -466,6 +560,7 @@ ConcurrentProtocol::continueEviction(NodeId cpu)
         m.dst = homeOf(cs.victimBlk);
         m.toMemory = true;
         m.blk = cs.victimBlk;
+        m.tok = cs.evictToken;
         m.flag = false;
         send(m);
         cs.evicting = false;
@@ -528,6 +623,7 @@ ConcurrentProtocol::sendNextOffer(NodeId cpu)
         cs.phase = Phase::WaitInvalAcks;
         sendMulticastMsg(MsgType::Invalidate, cpu, dests, 0,
                          cs.victimBlk, 0, 0, cpu);
+        armTimeout(cpu);
         return;
     }
 
@@ -538,6 +634,7 @@ ConcurrentProtocol::sendNextOffer(NodeId cpu)
     m.blk = cs.victimBlk;
     m.requester = cpu;
     send(m);
+    armTimeout(cpu);
 }
 
 void
@@ -554,6 +651,7 @@ ConcurrentProtocol::finishEviction(NodeId cpu, bool clear_owner,
     m.dst = homeOf(cs.victimBlk);
     m.toMemory = true;
     m.blk = cs.victimBlk;
+    m.tok = cs.evictToken;
     m.flag = clear_owner;
     if (write_back) {
         m.data = ve->data;
@@ -582,11 +680,34 @@ ConcurrentProtocol::serveForward(const Msg &m)
     Entry *e = findEntry(me, m.blk);
 
     if (r == me) {
-        // The requester became owner while its request was queued
-        // (hand-off overtook it). Complete the transaction locally.
+        // Either the requester became owner while its request was
+        // queued (hand-off overtook it), or a superseded retry of
+        // an already-settled request drained behind us. Only the
+        // former completes the transaction; the latter just has to
+        // release the busy period it holds.
+        bool mine = cs.active && m.seq == cs.txSeq &&
+            params.geometry.blockOf(cs.ref.addr) == m.blk &&
+            (cs.phase == Phase::WaitHome ||
+             cs.phase == Phase::WaitOwnXfer) &&
+            (m.type == MsgType::LoadFwd) == !cs.ref.isWrite;
+        if (!mine || !e || !cache::isOwned(e->field.state)) {
+            ++ctrs.staleForwards;
+            if (m.flag) {
+                Msg ub;
+                ub.type = MsgType::Unblock;
+                ub.src = me;
+                ub.dst = homeOf(m.blk);
+                ub.toMemory = true;
+                ub.blk = m.blk;
+                ub.requester = me;
+                ub.tok = m.tok;
+                ub.flag = false;
+                send(ub);
+            }
+            return;
+        }
         ++ctrs.selfForwards;
-        panic_if(!e || !cache::isOwned(e->field.state),
-                 "self-forward without ownership");
+        disarmTimeout(me);
         if (m.flag) {
             Msg ub;
             ub.type = MsgType::Unblock;
@@ -595,6 +716,7 @@ ConcurrentProtocol::serveForward(const Msg &m)
             ub.toMemory = true;
             ub.blk = m.blk;
             ub.requester = me;
+            ub.tok = m.tok;
             ub.flag = false; // ownership already recorded
             send(ub);
         }
@@ -624,6 +746,8 @@ ConcurrentProtocol::serveForward(const Msg &m)
             reply.blk = m.blk;
             reply.data = e->data;
             reply.flag = m.flag;
+            reply.seq = m.seq; // echo of the requester's attempt
+            reply.tok = m.tok; // busy token travels to the unblock
             reply.field.state = State::UnOwned;
             send(reply);
         } else {
@@ -636,6 +760,8 @@ ConcurrentProtocol::serveForward(const Msg &m)
             reply.offset = m.offset;
             reply.value = e->data[m.offset];
             reply.flag = m.flag;
+            reply.seq = m.seq;
+            reply.tok = m.tok;
             send(reply);
         }
         // The served value is this read's linearization point.
@@ -669,6 +795,8 @@ ConcurrentProtocol::serveForward(const Msg &m)
     reply.requester = r; // marks this as the requester's own reply
     reply.field = field;
     reply.flag = m.flag;
+    reply.seq = m.seq;
+    reply.tok = m.tok;
     if (send_copy)
         reply.data = e->data;
     send(reply);
@@ -694,6 +822,43 @@ ConcurrentProtocol::serveForward(const Msg &m)
         e->field.owner = r;
         e->field.modified = false;
         e->field.present.clear();
+    }
+}
+
+void
+ConcurrentProtocol::dropStaleReply(const Msg &m)
+{
+    NodeId me = m.dst;
+    CpuState &cs = cpus[me];
+    ++ctrs.staleReplies;
+    if (m.flag) {
+        // Served under a busy period: the home still waits for the
+        // release (a no-op there if the accepted copy already sent
+        // it - the token is single-use).
+        Msg ub;
+        ub.type = MsgType::Unblock;
+        ub.src = me;
+        ub.dst = homeOf(m.blk);
+        ub.toMemory = true;
+        ub.blk = m.blk;
+        ub.requester = me;
+        ub.tok = m.tok;
+        ub.flag = false;
+        send(ub);
+    }
+    if (!findEntry(me, m.blk) && !cs.clearPending.contains(m.blk)) {
+        // The serve registered us in the owner's present vector but
+        // we keep no entry: deregister, or the directory invariants
+        // break at quiescence.
+        Msg pc;
+        pc.type = MsgType::PresentClear;
+        pc.src = me;
+        pc.dst = homeOf(m.blk);
+        pc.toMemory = true;
+        pc.blk = m.blk;
+        pc.requester = me;
+        send(pc);
+        cs.clearPending.insert(m.blk);
     }
 }
 
@@ -725,6 +890,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
                 reply.blk = m.blk;
                 reply.offset = m.offset;
                 reply.value = e->data[m.offset];
+                reply.seq = m.seq;
                 send(reply);
             } else {
                 e->field.state = State::OwnedNonExclDW;
@@ -735,6 +901,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
                 reply.blk = m.blk;
                 reply.data = e->data;
                 reply.field.state = State::UnOwned;
+                reply.seq = m.seq;
                 send(reply);
             }
             checkReadSample(params.geometry.baseOf(m.blk) +
@@ -745,6 +912,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             nack.src = me;
             nack.dst = m.requester;
             nack.blk = m.blk;
+            nack.seq = m.seq;
             send(nack);
         }
         return;
@@ -753,17 +921,32 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
       case MsgType::NackNotOwner: {
         // Our pointer bypass raced with a transfer: fall back to
         // the home, re-running the access (the entry may be gone).
+        if (!cs.active || m.seq != cs.txSeq ||
+            cs.phase != Phase::WaitPointer ||
+            params.geometry.blockOf(cs.ref.addr) != m.blk) {
+            ++ctrs.staleReplies; // duplicate of a handled nack
+            return;
+        }
         ++ctrs.pointerNacks;
-        panic_if(cs.phase != Phase::WaitPointer,
-                 "unexpected pointer nack");
         ++cs.pointerRetries;
         cs.pinnedTx.erase(m.blk);
         cs.phase = Phase::Idle;
+        disarmTimeout(me);
         startAccess(me);
         return;
       }
 
       case MsgType::Datum: {
+        bool mine = cs.active && m.seq == cs.txSeq &&
+            !cs.ref.isWrite &&
+            params.geometry.blockOf(cs.ref.addr) == m.blk &&
+            (cs.phase == Phase::WaitHome ||
+             cs.phase == Phase::WaitPointer);
+        if (!mine) {
+            dropStaleReply(m);
+            return;
+        }
+        disarmTimeout(me);
         // The value was checked at its sampling point (the owner).
         if (cs.phase == Phase::WaitHome) {
             panic_if(!e, "datum reply without an entry");
@@ -776,13 +959,11 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
                 ub.dst = homeOf(m.blk);
                 ub.toMemory = true;
                 ub.blk = m.blk;
+                ub.tok = m.tok;
                 ub.flag = false;
                 send(ub);
             }
         } else {
-            panic_if(cs.phase != Phase::WaitPointer,
-                     "datum in phase %d",
-                     static_cast<int>(cs.phase));
             if (e && e->field.owner == invalidNode) {
                 // Our pointer entry was invalidated (and replaced
                 // by a placeholder) while the request was in
@@ -798,7 +979,24 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
       }
 
       case MsgType::DataBlock: {
-        panic_if(!e, "data reply without a pre-allocated entry");
+        // A write transaction can only be completed by an owning
+        // grant (from memory, or a StateCopyXfer); an UnOwned copy
+        // reaching it is a stale duplicate of an earlier read's
+        // serve that must not be mistaken for the reply.
+        // WaitOwnXfer is a valid receiving phase: an upgrade whose
+        // previous owner fully evicted is served from memory with
+        // a DataBlock, not a transfer.
+        bool mine = cs.active && m.seq == cs.txSeq &&
+            params.geometry.blockOf(cs.ref.addr) == m.blk &&
+            (cs.phase == Phase::WaitHome ||
+             cs.phase == Phase::WaitPointer ||
+             cs.phase == Phase::WaitOwnXfer) &&
+            (!cs.ref.isWrite || cache::isOwned(m.field.state));
+        if (!mine || !e) {
+            dropStaleReply(m);
+            return;
+        }
+        disarmTimeout(me);
         e->data = m.data;
         e->field.state = m.field.state;
         if (cache::isOwned(e->field.state)) {
@@ -815,6 +1013,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             ub.dst = homeOf(m.blk);
             ub.toMemory = true;
             ub.blk = m.blk;
+            ub.tok = m.tok;
             ub.flag = false;
             send(ub);
         }
@@ -830,11 +1029,46 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
 
       case MsgType::StateXfer:
       case MsgType::StateCopyXfer: {
+        // Continue our own transaction only if this transfer is
+        // the reply to it (requester tag): an ownership hand-off
+        // can land while our upgrade request is still queued at
+        // the home, and that request's eventual (self-)forward is
+        // the transaction's real completion point.
+        bool mine = cs.active && m.requester == me &&
+            m.seq == cs.txSeq && cs.ref.isWrite &&
+            params.geometry.blockOf(cs.ref.addr) == m.blk &&
+            (cs.phase == Phase::WaitOwnXfer ||
+             cs.phase == Phase::WaitHome);
+        bool handoff = m.requester == invalidNode &&
+            cs.pinnedOffer.contains(m.blk);
+        if (!mine && !handoff) {
+            // Duplicate of an accepted transfer. Mirror the unblock
+            // the accepted copy sent (flag=true): the token is
+            // single-use at the home, so whichever release arrives
+            // first records the same ownership change and the other
+            // is discarded.
+            ++ctrs.staleReplies;
+            if (m.flag) {
+                Msg ub;
+                ub.type = MsgType::Unblock;
+                ub.src = me;
+                ub.dst = homeOf(m.blk);
+                ub.toMemory = true;
+                ub.blk = m.blk;
+                ub.requester = me;
+                ub.tok = m.tok;
+                ub.flag = true;
+                send(ub);
+            }
+            return;
+        }
         panic_if(!e, "state transfer without an entry");
         panic_if(m.type == MsgType::StateXfer &&
                  e->field.state != State::UnOwned,
                  "data-less state transfer onto a %s entry",
                  cache::stateName(e->field.state));
+        if (mine)
+            disarmTimeout(me);
         e->field = m.field;
         e->field.owner = invalidNode;
         panic_if(!e->field.present.test(me),
@@ -852,21 +1086,11 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             ub.toMemory = true;
             ub.blk = m.blk;
             ub.requester = me;
+            ub.tok = m.tok;
             ub.flag = true; // record the ownership change
             send(ub);
         }
-        // Continue our own transaction only if this transfer is
-        // the reply to it (requester tag): an ownership hand-off
-        // can land while our upgrade request is still queued at
-        // the home, and that request's eventual (self-)forward is
-        // the transaction's real completion point.
-        bool mine = cs.active && m.requester == me &&
-            params.geometry.blockOf(cs.ref.addr) == m.blk &&
-            (cs.phase == Phase::WaitOwnXfer ||
-             cs.phase == Phase::WaitHome);
         if (mine) {
-            panic_if(!cs.ref.isWrite,
-                     "read transaction got a state transfer");
             performOwnedWrite(me);
         } else {
             // Accepted hand-off: unpin the offer.
@@ -889,8 +1113,9 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
 
       case MsgType::DwAck: {
         if (cs.phase != Phase::WaitDwAcks ||
+            params.geometry.blockOf(cs.ref.addr) != m.blk ||
             !cs.ackFrom.test(m.src)) {
-            return; // overshoot delivery ack: ignore
+            return; // overshoot delivery or duplicate ack: ignore
         }
         cs.ackFrom.reset(m.src);
         if (--cs.pendingAcks == 0)
@@ -919,7 +1144,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
 
       case MsgType::InvalAck: {
         if (cs.phase != Phase::WaitInvalAcks ||
-            !cs.ackFrom.test(m.src)) {
+            cs.victimBlk != m.blk || !cs.ackFrom.test(m.src)) {
             return;
         }
         cs.ackFrom.reset(m.src);
@@ -985,7 +1210,16 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
       }
 
       case MsgType::OfferAck: {
-        panic_if(cs.phase != Phase::WaitOffer, "stray offer ack");
+        if (cs.phase != Phase::WaitOffer || !cs.evicting ||
+            m.blk != cs.victimBlk ||
+            m.src != cs.candidates[cs.candIdx]) {
+            // The offeree pinned the block for a transfer that is
+            // not coming; only its own eviction unpins it. Possible
+            // only under plans faulting control messages - the
+            // watchdog's department, not worth a revoke handshake.
+            ++ctrs.staleReplies;
+            return;
+        }
         Entry *ve = findEntry(me, cs.victimBlk);
         panic_if(!ve, "offer ack without a victim");
         ++ctrs.ownershipTransfers;
@@ -1021,6 +1255,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
         x.requester = invalidNode; // hand-off, not a request reply
         x.field = field;
         x.flag = true; // eviction busy released by new owner
+        x.tok = cs.evictToken; // ... with this eviction's token
         if (mode == Mode::GlobalRead)
             x.data = ve->data;
         send(x);
@@ -1033,18 +1268,48 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
       }
 
       case MsgType::OfferNack: {
-        panic_if(cs.phase != Phase::WaitOffer, "stray offer nack");
+        if (cs.phase != Phase::WaitOffer || !cs.evicting ||
+            m.blk != cs.victimBlk ||
+            m.src != cs.candidates[cs.candIdx]) {
+            ++ctrs.staleReplies;
+            return;
+        }
         ++ctrs.handoffNacks;
         ++cs.candIdx;
         sendNextOffer(me);
         return;
       }
 
-      case MsgType::EvictAck:
-        panic_if(cs.phase != Phase::WaitEvictAck,
-                 "stray evict ack");
-        continueEviction(me);
+      case MsgType::EvictAck: {
+        if (cs.phase == Phase::WaitEvictAck && cs.evicting &&
+            m.blk == cs.victimBlk && m.seq == cs.txSeq) {
+            cs.evictToken = m.tok;
+            disarmTimeout(me);
+            continueEviction(me);
+            return;
+        }
+        if (cs.evicting && m.blk == cs.victimBlk &&
+            m.tok == cs.evictToken) {
+            // Duplicate of the grant we are already acting on.
+            ++ctrs.staleReplies;
+            return;
+        }
+        // Grant for an eviction that already finished (a retried
+        // EvictReq drained after the original completed): the home
+        // holds a fresh busy period for it; release it, touching
+        // nothing.
+        ++ctrs.staleReplies;
+        Msg done;
+        done.type = MsgType::EvictDone;
+        done.src = me;
+        done.dst = homeOf(m.blk);
+        done.toMemory = true;
+        done.blk = m.blk;
+        done.tok = m.tok;
+        done.flag = false;
+        send(done);
         return;
+      }
 
       default:
         panic("cache %u got unexpected message %s", me,
@@ -1061,18 +1326,34 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
 {
     BlockId blk = m.blk;
     if (h.busy.contains(blk)) {
-        h.waiting[blk].push_back(m);
+        std::deque<Msg> &q = h.waiting[blk];
+        for (Msg &w : q) {
+            if (w.requester == m.requester) {
+                // A retry superseding its still-queued original (a
+                // cpu has one transaction, hence at most one live
+                // request per block): replace in place so the
+                // request is never served twice from the queue.
+                w = m;
+                ++ctrs.dupRequests;
+                return;
+            }
+        }
+        q.push_back(m);
         ++ctrs.homeQueued;
         return;
     }
 
     if (m.type == MsgType::EvictReq) {
         h.busy.insert(blk);
+        std::uint64_t token = ++h.busyTokenGen;
+        h.busyToken[blk] = token;
         Msg ack;
         ack.type = MsgType::EvictAck;
         ack.src = h.mem.port();
         ack.dst = m.src;
         ack.blk = blk;
+        ack.seq = m.seq;
+        ack.tok = token;
         send(ack);
         return;
     }
@@ -1097,12 +1378,15 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
         reply.field.state = cache::ownedState(params.defaultMode,
                                               true);
         reply.flag = false; // no busy held
+        reply.seq = m.seq;
         send(reply);
         return;
     }
 
     // Forward to the owner under this block's busy period.
     h.busy.insert(blk);
+    std::uint64_t token = ++h.busyTokenGen;
+    h.busyToken[blk] = token;
     Msg fwd;
     switch (m.type) {
       case MsgType::LoadReq:
@@ -1123,6 +1407,8 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
     fwd.offset = m.offset;
     fwd.requester = r;
     fwd.flag = true; // busy held until the requester unblocks
+    fwd.seq = m.seq; // echoed end-to-end back to the requester
+    fwd.tok = token;
     send(fwd);
 }
 
@@ -1152,18 +1438,50 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
       case MsgType::LoadReq:
       case MsgType::LoadOwnReq:
       case MsgType::OwnReq:
-      case MsgType::EvictReq:
+      case MsgType::EvictReq: {
+        // Per-requester duplicate suppression: each operation
+        // carries a fresh sequence number, operations from one cpu
+        // are serialized, and timeout retries resend the same seq,
+        // so an older-or-equal arrival can only be an injected
+        // duplicate, a timeout resend whose original got through,
+        // or a superseded operation's late copy -- all safe to drop.
+        std::uint64_t &seen = h.seqSeen[m.requester];
+        if (m.seq <= seen) {
+            ++ctrs.dupRequests;
+            return;
+        }
+        seen = m.seq;
         processHomeRequest(h, m);
         return;
+      }
 
-      case MsgType::Unblock:
+      case MsgType::Unblock: {
+        // Only the release carrying the busy period's own token
+        // counts; duplicates and releases from superseded serves
+        // carry a dead token and must not unlock a later period.
+        const std::uint64_t *tok = h.busyToken.find(blk);
+        if (!tok || *tok != m.tok) {
+            ++ctrs.staleUnblocks;
+            return;
+        }
+        h.busyToken.erase(blk);
         if (m.flag)
             h.mem.blockStore().setOwner(blk, m.requester);
         h.busy.erase(blk);
         drainHomeQueue(h, blk);
         return;
+      }
 
-      case MsgType::EvictDone:
+      case MsgType::EvictDone: {
+        const std::uint64_t *tok = h.busyToken.find(blk);
+        if (!tok || *tok != m.tok) {
+            // A duplicate of a finished eviction's release: its
+            // write-back/clear already happened; touching memory
+            // again could clobber a newer owner's state.
+            ++ctrs.staleUnblocks;
+            return;
+        }
+        h.busyToken.erase(blk);
         if (!m.data.empty())
             h.mem.writeBlock(blk, m.data);
         if (m.flag)
@@ -1171,6 +1489,7 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
         h.busy.erase(blk);
         drainHomeQueue(h, blk);
         return;
+      }
 
       case MsgType::PresentClear: {
         NodeId owner = h.mem.blockStore().owner(blk);
@@ -1212,6 +1531,201 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
         panic("memory %u got unexpected message %s", m.dst,
               msgTypeName(m.type));
     }
+}
+
+// ---------------------------------------------------------------
+// Timeouts, retry, liveness watchdog
+// ---------------------------------------------------------------
+
+void
+ConcurrentProtocol::armTimeout(NodeId cpu)
+{
+    if (params.timeoutBase == 0 || _aborted)
+        return;
+    CpuState &cs = cpus[cpu];
+    if (cs.timeoutArmed)
+        eq.deschedule(cs.timeoutEv);
+    // Bounded exponential backoff with jitter: retry i waits
+    // timeoutBase << i (capped), plus up to a quarter extra so
+    // synchronized retry storms decorrelate.
+    unsigned shift = std::min(cs.attempts, 20u);
+    Tick delay = std::min(params.timeoutBase << shift,
+                          params.timeoutCap);
+    delay += retryRng.uniform(0, delay / 4);
+    std::uint64_t seq = cs.txSeq;
+    cs.timeoutEv = eq.scheduleIn(
+        [this, cpu, seq] { onTimeout(cpu, seq); }, delay);
+    cs.timeoutArmed = true;
+}
+
+void
+ConcurrentProtocol::disarmTimeout(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    if (cs.timeoutArmed) {
+        eq.deschedule(cs.timeoutEv);
+        cs.timeoutArmed = false;
+    }
+}
+
+void
+ConcurrentProtocol::onTimeout(NodeId cpu, std::uint64_t seq)
+{
+    CpuState &cs = cpus[cpu];
+    cs.timeoutArmed = false;
+    // A timer for a superseded attempt (or a settled transaction)
+    // is a no-op: accepting a late reply is always preferred over
+    // retrying.
+    if (_aborted || !cs.active || cs.txSeq != seq)
+        return;
+    ++ctrs.timeouts;
+    if (cs.attempts >= params.maxRetries) {
+        ++ctrs.retriesExhausted;
+        return; // wedged for good: the watchdog reports it
+    }
+    ++cs.attempts;
+    BlockId blk = params.geometry.blockOf(cs.ref.addr);
+
+    switch (cs.phase) {
+      case Phase::WaitPointer:
+      case Phase::WaitHome:
+      case Phase::WaitOwnXfer:
+      case Phase::WaitEvictAck:
+        // Resend the outstanding request verbatim (same seq). If
+        // the original merely crawled -- still in flight, queued
+        // behind a busy period, or its serve already under way --
+        // the duplicate is suppressed at the home and the late
+        // serve still matches txSeq. Only a request that truly
+        // vanished makes the resend visible. Never restart with a
+        // fresh seq here: abandoning an attempt whose serve is in
+        // flight would orphan the ownership or present bit that
+        // serve carries.
+        ++ctrs.retries;
+        send(cs.lastReq);
+        armTimeout(cpu);
+        return;
+
+      case Phase::WaitDwAcks:
+      case Phase::WaitInvalAcks: {
+        // Re-send to the copies that have not answered. Updates
+        // and invalidations are idempotent and the ack filter
+        // (ackFrom) absorbs duplicate acknowledgements.
+        ++ctrs.retries;
+        std::vector<NodeId> rest;
+        const DynamicBitset &a = cs.ackFrom;
+        for (std::size_t i = a.findFirst(); i < a.size();
+             i = a.findNext(i)) {
+            rest.push_back(static_cast<NodeId>(i));
+        }
+        if (cs.phase == Phase::WaitDwAcks) {
+            sendMulticastMsg(MsgType::DwUpdate, cpu, rest,
+                             params.sizes.wordBits, blk,
+                             params.geometry.offsetOf(cs.ref.addr),
+                             cs.ref.value, cpu);
+        } else {
+            sendMulticastMsg(MsgType::Invalidate, cpu, rest, 0,
+                             cs.victimBlk, 0, 0, cpu);
+        }
+        armTimeout(cpu);
+        return;
+      }
+
+      default:
+        // WaitOffer (re-offering could strand an accepted pin) and
+        // deferred Idle states have nothing safe to re-send; keep
+        // the timer running so coverage resumes on a phase change.
+        armTimeout(cpu);
+        return;
+    }
+}
+
+void
+ConcurrentProtocol::watchdogTick()
+{
+    watchdogArmed = false;
+    if (_aborted || refsOutstanding == 0)
+        return;
+    Tick now = eq.curTick();
+    std::vector<NodeId> dead;
+    for (NodeId c = 0; c < cpus.size(); ++c) {
+        const CpuState &cs = cpus[c];
+        if (cs.active && now - cs.issueTick > params.watchdogAge)
+            dead.push_back(c);
+    }
+    if (dead.empty()) {
+        watchdogEv = eq.scheduleIn([this] { watchdogTick(); },
+                                   params.watchdogPeriod);
+        watchdogArmed = true;
+        return;
+    }
+    ctrs.watchdogDeadlocks += dead.size();
+    _deadlockReport = buildDeadlockReport(dead);
+    warn("concurrent watchdog: %zu transaction(s) exceeded age "
+         "%llu at tick %llu - protocol deadlock\n%s",
+         dead.size(),
+         static_cast<unsigned long long>(params.watchdogAge),
+         static_cast<unsigned long long>(now),
+         _deadlockReport.c_str());
+    // Abort gracefully: every self-rescheduling path checks the
+    // flag, so the event queue drains and run() reports instead of
+    // spinning forever.
+    _aborted = true;
+}
+
+std::string
+ConcurrentProtocol::buildDeadlockReport(
+    const std::vector<NodeId> &dead)
+{
+    Tick now = eq.curTick();
+    std::string out;
+    for (NodeId c : dead) {
+        const CpuState &cs = cpus[c];
+        BlockId blk = params.geometry.blockOf(cs.ref.addr);
+        out += csprintf(
+            "  cpu%u: %c @%llu blk=%llu phase=%s age=%llu "
+            "attempts=%u seq=%llu evicting=%d victim=%llu "
+            "pendingAcks=%u pinsTx=%zu pinsOffer=%zu "
+            "clearPending=%zu\n",
+            c, cs.ref.isWrite ? 'W' : 'R',
+            static_cast<unsigned long long>(cs.ref.addr),
+            static_cast<unsigned long long>(blk),
+            phaseName(cs.phase),
+            static_cast<unsigned long long>(now - cs.issueTick),
+            cs.attempts,
+            static_cast<unsigned long long>(cs.txSeq),
+            cs.evicting,
+            static_cast<unsigned long long>(cs.victimBlk),
+            cs.pendingAcks, cs.pinnedTx.size(),
+            cs.pinnedOffer.size(), cs.clearPending.size());
+        const Entry *e = findEntry(c, blk);
+        if (e) {
+            out += csprintf(
+                "        entry: state=%s owner=%u modified=%d "
+                "present=%zu\n",
+                cache::stateName(e->field.state), e->field.owner,
+                e->field.modified, e->field.present.count());
+        } else {
+            out += "        entry: none\n";
+        }
+        const HomeState &h = homes[homeOf(blk)];
+        const std::uint64_t *tok = h.busyToken.find(blk);
+        const std::deque<Msg> *q = h.waiting.find(blk);
+        out += csprintf(
+            "        home%u: busy=%d token=%llu queued=%zu "
+            "bsOwner=%u\n",
+            homeOf(blk), h.busy.contains(blk),
+            static_cast<unsigned long long>(tok ? *tok : 0),
+            q ? q->size() : 0,
+            h.mem.blockStore().owner(blk));
+    }
+    std::size_t inflight = 0;
+    for (const MsgSlot &s : msgSlab) {
+        if (s.refs > 0)
+            ++inflight;
+    }
+    out += csprintf("  in-flight message slots: %zu (slab %zu)\n",
+                    inflight, msgSlab.size());
+    return out;
 }
 
 // ---------------------------------------------------------------
@@ -1277,9 +1791,18 @@ ConcurrentProtocol::run(workload::ReferenceStream &stream)
     for (NodeId c = 0; c < cpus.size(); ++c)
         issueNext(c);
 
+    if (params.watchdogPeriod > 0 && refsOutstanding > 0) {
+        watchdogEv = eq.scheduleIn([this] { watchdogTick(); },
+                                   params.watchdogPeriod);
+        watchdogArmed = true;
+    }
+
     eq.run();
 
-    panic_if(refsOutstanding != 0,
+    // A watchdog abort is a *reported* deadlock: the result carries
+    // it and the caller decides. Anything else left hanging is an
+    // engine bug.
+    panic_if(refsOutstanding != 0 && !_aborted,
              "deadlock: %llu references never completed",
              static_cast<unsigned long long>(refsOutstanding));
 
@@ -1288,6 +1811,7 @@ ConcurrentProtocol::run(workload::ReferenceStream &stream)
     res.makespan = eq.curTick();
     res.networkBits = net.linkStats().totalBits() - start_bits;
     res.valueErrors = _valueErrors;
+    res.deadlocks = ctrs.watchdogDeadlocks;
     res.avgReadLatency = readsDone
         ? readLatSum / static_cast<double>(readsDone) : 0;
     res.avgWriteLatency = writesDone

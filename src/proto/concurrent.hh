@@ -38,6 +38,7 @@
 #define MSCP_PROTO_CONCURRENT_HH
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "cache/cache_array.hh"
@@ -46,7 +47,9 @@
 #include "proto/message.hh"
 #include "sim/bitset.hh"
 #include "sim/eventq.hh"
+#include "sim/fault.hh"
 #include "sim/flat.hh"
+#include "sim/random.hh"
 #include "workload/ref_stream.hh"
 
 namespace mscp::proto
@@ -71,6 +74,16 @@ struct ConcurrentCounters
     std::uint64_t writeBacks = 0;
     std::uint64_t presentClearRetries = 0;
     std::uint64_t selfForwards = 0;   ///< forward met requester==owner
+    /** @{ robustness machinery (fault/timeout hardening) */
+    std::uint64_t timeouts = 0;       ///< transaction timeouts fired
+    std::uint64_t retries = 0;        ///< timed-out requests resent
+    std::uint64_t retriesExhausted = 0; ///< gave up after maxRetries
+    std::uint64_t staleReplies = 0;   ///< duplicate/superseded replies
+    std::uint64_t staleForwards = 0;  ///< forwards for settled requests
+    std::uint64_t staleUnblocks = 0;  ///< busy releases with bad token
+    std::uint64_t dupRequests = 0;    ///< home-side duplicates dropped
+    std::uint64_t watchdogDeadlocks = 0; ///< transactions flagged dead
+    /** @} */
 };
 
 /** Configuration. */
@@ -84,6 +97,29 @@ struct ConcurrentParams
     Tick hopLatency = 1;
     Tick hitLatency = 1;
     Tick thinkTime = 0;
+
+    /** @{ robustness (all off by default: zero-fault runs are
+     *  byte-identical to the unhardened engine) */
+    /** Adverse-delivery plan applied by the timed network. */
+    FaultPlan faultPlan;
+    /**
+     * First-retry timeout in ticks; 0 disables timeouts. Retry i
+     * waits timeoutBase << i (capped at timeoutCap) plus a jittered
+     * quarter drawn from jitterSeed.
+     */
+    Tick timeoutBase = 0;
+    Tick timeoutCap = 1 << 14;
+    unsigned maxRetries = 8;
+    std::uint64_t jitterSeed = 0x7e11;
+    /**
+     * Liveness watchdog scan period; 0 disables the watchdog. A
+     * transaction older than watchdogAge is flagged as a protocol
+     * deadlock: a diagnostic dump is recorded and the run aborts
+     * gracefully (run() reports it instead of hanging).
+     */
+    Tick watchdogPeriod = 0;
+    Tick watchdogAge = 50000;
+    /** @} */
 };
 
 /** Result of a concurrent run. */
@@ -95,6 +131,8 @@ struct ConcurrentRunResult
     std::uint64_t valueErrors = 0;
     double avgReadLatency = 0;
     double avgWriteLatency = 0;
+    /** Transactions the watchdog declared dead (0 = clean run). */
+    std::uint64_t deadlocks = 0;
 };
 
 /** The event-driven engine. */
@@ -115,6 +153,21 @@ class ConcurrentProtocol
     const ConcurrentCounters &counters() const { return ctrs; }
     const MessageCounters &messageCounters() const { return msgs; }
     std::uint64_t valueErrors() const { return _valueErrors; }
+    /** Delivery-fault statistics (all zero when injection is off). */
+    const FaultCounters &faultCounters() const
+    {
+        return injector.counters();
+    }
+    /**
+     * Diagnostic dump recorded by the watchdog when it flags a
+     * deadlock; empty on a clean run. Lists each wedged transaction
+     * (phase, age, attempts) plus home-side busy/queue state and
+     * the in-flight message slab.
+     */
+    const std::string &deadlockReport() const
+    {
+        return _deadlockReport;
+    }
     /** Events executed by the engine's internal queue. */
     std::uint64_t executedEvents() const
     {
@@ -157,6 +210,22 @@ class ConcurrentProtocol
         NodeId requester = 0;    ///< original requester on forwards
         unsigned offset = 0;
         std::uint64_t value = 0;
+        /**
+         * Attempt sequence number. Requester-originated requests
+         * stamp their current txSeq so the home can drop duplicate
+         * and superseded (retried) copies; it is echoed end-to-end
+         * on forwards and replies so the requester can match a
+         * reply to the exact attempt it answers (a duplicated or
+         * superseded serve never completes a newer transaction).
+         */
+        std::uint64_t seq = 0;
+        /**
+         * Home-issued busy token. Minted per busy period, carried
+         * by forwards/grants and their replies, and consumed by
+         * the single Unblock/EvictDone allowed to release that
+         * period - stale or duplicated releases carry a dead token.
+         */
+        std::uint64_t tok = 0;
         bool flag = false;       ///< multi-purpose (e.g. modified)
         cache::StateField field; ///< state transfers
         std::vector<std::uint64_t> data; ///< block payloads
@@ -173,6 +242,12 @@ class ConcurrentProtocol
         WaitEvictAck,   ///< eviction handshake
         WaitOffer,      ///< hand-off offer outstanding
         WaitInvalAcks,  ///< all-nack fallback invalidations
+        /**
+         * Reply accepted, completion scheduled a hit-latency away.
+         * Distinct from the wait phases so a duplicated reply
+         * landing inside that window cannot be accepted twice.
+         */
+        Commit,
     };
 
     /** Per-cpu controller state. */
@@ -190,6 +265,32 @@ class ConcurrentProtocol
         Tick issueTick = 0;
         unsigned pendingAcks = 0;
         unsigned pointerRetries = 0;
+        /** @{ robustness: retry bookkeeping */
+        /** Generator for per-cpu attempt sequence numbers. */
+        std::uint64_t seqGen = 0;
+        /** Sequence of the current operation; replies carrying an
+         *  older operation's identity are ignored as stale. */
+        std::uint64_t txSeq = 0;
+        /** Timed-out resends so far for the current reference. */
+        unsigned attempts = 0;
+        /**
+         * Verbatim copy of the outstanding request. A timeout
+         * retry resends exactly this message -- same type, same
+         * destination, same seq -- so the home's duplicate
+         * suppression absorbs a retry whose original was merely
+         * slow, and a late serve of the original still matches
+         * txSeq. Restarting with a fresh seq is only sound when
+         * the old attempt provably died (an explicit NACK):
+         * abandoning an attempt whose serve is already in flight
+         * would orphan the ownership or present bit it carries.
+         */
+        Msg lastReq;
+        EventId timeoutEv = 0;
+        bool timeoutArmed = false;
+        /** Busy token of the accepted EvictAck; travels on the
+         *  EvictDone (and hand-off StateXfer) that releases it. */
+        std::uint64_t evictToken = 0;
+        /** @} */
         /** Caches expected to acknowledge (updates/invalidates). */
         DynamicBitset ackFrom;
         /** Eviction context. */
@@ -222,6 +323,15 @@ class ConcurrentProtocol
         mem::MemoryModule mem;
         FlatSet<BlockId> busy;
         FlatMap<BlockId, std::deque<Msg>> waiting;
+        /** @{ robustness: duplicate suppression + busy matching */
+        /** Highest request seq accepted per requester; lower or
+         *  equal arrivals are duplicates/superseded retries. */
+        FlatMap<NodeId, std::uint64_t> seqSeen;
+        /** Token identifying the transaction each busy block is
+         *  serving; only the matching Unblock/EvictDone releases. */
+        FlatMap<BlockId, std::uint64_t> busyToken;
+        std::uint64_t busyTokenGen = 0;
+        /** @} */
     };
 
     /**
@@ -271,12 +381,30 @@ class ConcurrentProtocol
     /** @{ cache-side message handlers */
     void handleCacheMsg(const Msg &m);
     void serveForward(const Msg &m);
+    /** Discard a duplicate/superseded reply, releasing any busy
+     *  period it was served under and undoing its registration in
+     *  the owner's present vector when no entry backs it. */
+    void dropStaleReply(const Msg &m);
     /** @} */
 
     /** @{ memory-side message handlers */
     void handleMemMsg(const Msg &m);
     void processHomeRequest(HomeState &h, const Msg &m);
     void drainHomeQueue(HomeState &h, BlockId blk);
+    /** @} */
+
+    /** @{ robustness: timeouts, retry, watchdog */
+    /** Delivery-fault class of a message type. */
+    static FaultClass classOf(MsgType t);
+    /** Human-readable phase name for diagnostics. */
+    static const char *phaseName(Phase p);
+    /** (Re)arm the retry timer for @p cpu's current attempt. */
+    void armTimeout(NodeId cpu);
+    void disarmTimeout(NodeId cpu);
+    void onTimeout(NodeId cpu, std::uint64_t seq);
+    void watchdogTick();
+    /** Format the state of every wedged transaction. */
+    std::string buildDeadlockReport(const std::vector<NodeId> &dead);
     /** @} */
 
     /** @{ linearizability monitor */
@@ -302,6 +430,17 @@ class ConcurrentProtocol
     net::OmegaNetwork &net;
     EventQueue eq;
     net::TimedNetwork timedNet;
+    /** Delivery-fault injector (interposed on timedNet when the
+     *  plan enables any fault). */
+    FaultInjector injector;
+    /** Jitter source for retry backoff. */
+    Random retryRng;
+    /** Set by the watchdog: stop rescheduling retry/defer loops so
+     *  the event queue can drain and run() can report. */
+    bool _aborted = false;
+    std::string _deadlockReport;
+    EventId watchdogEv = 0;
+    bool watchdogArmed = false;
 
     std::vector<CpuState> cpus;
     std::vector<HomeState> homes;

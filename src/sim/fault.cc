@@ -1,0 +1,113 @@
+#include "fault.hh"
+
+namespace mscp
+{
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::Request: return "request";
+      case FaultClass::Forward: return "forward";
+      case FaultClass::Reply: return "reply";
+      case FaultClass::Ack: return "ack";
+      case FaultClass::Control: return "control";
+      case FaultClass::NumClasses: break;
+    }
+    return "?";
+}
+
+std::uint64_t
+FaultCounters::totalDropped() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t v : dropped)
+        t += v;
+    return t;
+}
+
+std::uint64_t
+FaultCounters::totalDuplicated() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t v : duplicated)
+        t += v;
+    return t;
+}
+
+std::uint64_t
+FaultCounters::totalDelayed() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t v : delayed)
+        t += v;
+    return t;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : _plan(std::move(plan)), _enabled(_plan.enabled()),
+      state(_plan.seed)
+{
+}
+
+std::uint64_t
+FaultInjector::draw()
+{
+    // splitmix64: increment-then-finalize keeps the stream a pure
+    // function of (seed, draw index).
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+double
+unitReal(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) *
+        (1.0 / 9007199254740992.0); // 2^-53
+}
+
+} // anonymous namespace
+
+FaultDecision
+FaultInjector::decide(NodeId dst, Tick when)
+{
+    FaultDecision d;
+    std::size_t ci = static_cast<std::size_t>(cls);
+    const FaultRates &r = _plan.rates[ci];
+    ++ctrs.consulted[ci];
+
+    double drop = r.drop;
+    for (const DegradeWindow &w : _plan.windows) {
+        if (when >= w.begin && when < w.end &&
+            (w.node == invalidNode || w.node == dst)) {
+            drop += w.dropBoost;
+            d.extraDelay += w.extraDelay;
+        }
+    }
+
+    if (drop > 0 && unitReal(draw()) < drop) {
+        d.drop = true;
+        ++ctrs.dropped[ci];
+        return d;
+    }
+    if (r.duplicate > 0 && unitReal(draw()) < r.duplicate) {
+        d.duplicate = true;
+        d.dupDelay = 1 + (draw() & 7);
+        ++ctrs.duplicated[ci];
+    }
+    if (r.delay > 0 && r.delayMax > 0 &&
+        unitReal(draw()) < r.delay) {
+        d.extraDelay += 1 + draw() % r.delayMax;
+    }
+    if (d.extraDelay)
+        ++ctrs.delayed[ci];
+    return d;
+}
+
+} // namespace mscp

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Deterministic fault injection for the timed network.
+ *
+ * The paper assumes a lossless omega network; real fabrics drop,
+ * duplicate and delay messages. A FaultPlan describes adverse
+ * delivery as per-message-class rates (drop / duplicate / extra
+ * delay) plus optional time-windowed link degradation, and a
+ * FaultInjector turns the plan into per-delivery decisions that
+ * TimedNetwork applies at its delivery-scheduling point.
+ *
+ * Determinism: decisions are drawn from a splitmix64 stream seeded
+ * by the plan, advanced once per random draw. A simulation is a
+ * deterministic sequence of deliveries, so the whole fault pattern
+ * is reproducible from (seed, plan) alone - the same run with the
+ * same plan faults the same messages on any host or thread count.
+ * With the plan disabled (all rates zero, no windows) the injector
+ * is never consulted and runs are byte-identical to a build without
+ * the subsystem.
+ */
+
+#ifndef MSCP_SIM_FAULT_HH
+#define MSCP_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mscp
+{
+
+/**
+ * Coarse message taxonomy the injector keys its rates by. The
+ * network layer does not know protocol message types; senders tag
+ * the class of the message about to be sent (see
+ * FaultInjector::setMessageClass). The split matters because only
+ * some classes have end-to-end recovery: dropped requests are
+ * retried by the requester's timeout, while e.g. a dropped data
+ * reply loses protocol state that nothing re-creates (the watchdog
+ * exists to flag exactly that).
+ */
+enum class FaultClass : std::uint8_t
+{
+    Request,  ///< requester-originated, timeout-retried messages
+    Forward,  ///< home-to-owner forwards under a busy period
+    Reply,    ///< data/state replies and grants
+    Ack,      ///< acknowledgements and NACKs
+    Control,  ///< unblocks, multicasts, everything else
+    NumClasses,
+};
+
+/** Printable class name. */
+const char *faultClassName(FaultClass c);
+
+/** Fault rates for one message class. */
+struct FaultRates
+{
+    double drop = 0;      ///< probability a delivery vanishes
+    double duplicate = 0; ///< probability a delivery arrives twice
+    double delay = 0;     ///< probability of random extra latency
+    Tick delayMax = 8;    ///< max random extra latency, in ticks
+
+    bool
+    any() const
+    {
+        return drop > 0 || duplicate > 0 || delay > 0;
+    }
+};
+
+/**
+ * Time-windowed link degradation: while curTick is in
+ * [begin, end), deliveries to @p node (or to every node when
+ * invalidNode) see boosted drop probability and a fixed extra
+ * delay, on top of the per-class rates.
+ */
+struct DegradeWindow
+{
+    Tick begin = 0;
+    Tick end = 0;
+    NodeId node = invalidNode; ///< affected port, invalidNode = all
+    double dropBoost = 0;
+    Tick extraDelay = 0;
+};
+
+/** A complete, reproducible description of adverse delivery. */
+struct FaultPlan
+{
+    std::uint64_t seed = 0xfa117;
+    std::array<FaultRates,
+               static_cast<std::size_t>(FaultClass::NumClasses)>
+        rates{};
+    std::vector<DegradeWindow> windows;
+
+    FaultRates &
+    of(FaultClass c)
+    {
+        return rates[static_cast<std::size_t>(c)];
+    }
+
+    const FaultRates &
+    of(FaultClass c) const
+    {
+        return rates[static_cast<std::size_t>(c)];
+    }
+
+    /** @return true iff the plan can affect any delivery. */
+    bool
+    enabled() const
+    {
+        if (!windows.empty())
+            return true;
+        for (const FaultRates &r : rates)
+            if (r.any())
+                return true;
+        return false;
+    }
+};
+
+/** Outcome of one delivery consultation. */
+struct FaultDecision
+{
+    bool drop = false;
+    bool duplicate = false;
+    Tick extraDelay = 0; ///< applied to the (first) delivery
+    Tick dupDelay = 0;   ///< duplicate arrives this much later
+};
+
+/** What the injector did, per class. */
+struct FaultCounters
+{
+    static constexpr std::size_t N =
+        static_cast<std::size_t>(FaultClass::NumClasses);
+    std::array<std::uint64_t, N> consulted{};
+    std::array<std::uint64_t, N> dropped{};
+    std::array<std::uint64_t, N> duplicated{};
+    std::array<std::uint64_t, N> delayed{};
+
+    std::uint64_t totalDropped() const;
+    std::uint64_t totalDuplicated() const;
+    std::uint64_t totalDelayed() const;
+};
+
+/**
+ * Turns a FaultPlan into per-delivery decisions.
+ *
+ * Single-threaded, like the engine and network that consult it.
+ * The current message class is sticky: the sender sets it once per
+ * message and every delivery of that message (a multicast has many)
+ * draws under that class.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    /** @return true iff the plan can affect any delivery. */
+    bool enabled() const { return _enabled; }
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /** Tag the class of the message about to be sent. */
+    void setMessageClass(FaultClass c) { cls = c; }
+    FaultClass messageClass() const { return cls; }
+
+    /**
+     * Decide the fate of one delivery.
+     *
+     * @param dst destination port
+     * @param when contention-aware arrival tick
+     */
+    FaultDecision decide(NodeId dst, Tick when);
+
+    const FaultCounters &counters() const { return ctrs; }
+
+  private:
+    /** Next value of the splitmix64 decision stream. */
+    std::uint64_t draw();
+
+    FaultPlan _plan;
+    bool _enabled;
+    FaultClass cls = FaultClass::Control;
+    std::uint64_t state;
+    FaultCounters ctrs;
+};
+
+} // namespace mscp
+
+#endif // MSCP_SIM_FAULT_HH

@@ -145,6 +145,66 @@ class InlineFunction
     const Ops *ops = nullptr;
 };
 
+/**
+ * Copyable `void(Args...)` callable with inline-only storage.
+ *
+ * The delivery-callback counterpart of InlineFunction: a network
+ * send schedules one event per delivery and each event needs its
+ * own copy of the callback, so the type must be cheaply copyable.
+ * Storage is strictly inline - there is no heap fallback - and the
+ * functor must be trivially copyable, which every capture the
+ * simulator uses ({this, slot} or a couple of references) is. Both
+ * constraints are enforced at compile time, so the zero-allocation
+ * guarantee of the delivery path cannot silently regress.
+ */
+template <typename... Args>
+class InlineCallback
+{
+  public:
+    /** Inline capture capacity in bytes. */
+    static constexpr std::size_t InlineSize = 24;
+
+    InlineCallback() = default;
+
+    /** Callers historically pass nullptr for "no callback". */
+    InlineCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    InlineCallback(F f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= InlineSize,
+                      "capture too large for InlineCallback");
+        static_assert(std::is_trivially_copyable_v<Fn>,
+                      "InlineCallback requires trivially copyable "
+                      "functors");
+        static_assert(std::is_trivially_destructible_v<Fn>,
+                      "InlineCallback requires trivially "
+                      "destructible functors");
+        ::new (static_cast<void *>(buf)) Fn(std::move(f));
+        invoke = [](void *p, Args... args) {
+            (*std::launder(reinterpret_cast<Fn *>(p)))(args...);
+        };
+    }
+
+    explicit operator bool() const { return invoke != nullptr; }
+
+    void
+    operator()(Args... args) const
+    {
+        invoke(buf, args...);
+    }
+
+  private:
+    void (*invoke)(void *, Args...) = nullptr;
+    /** Mutable so stateful (mutable-lambda) functors stay callable
+     *  through the const interface the send paths use. */
+    alignas(std::max_align_t) mutable unsigned char buf[InlineSize];
+};
+
 } // namespace mscp
 
 #endif // MSCP_SIM_INLINE_FUNCTION_HH

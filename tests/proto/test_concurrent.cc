@@ -154,6 +154,91 @@ TEST(Concurrent, EvictionHeavyTinyCaches)
     expectQuiescentClean(p);
 }
 
+TEST(Concurrent, NackRetryRaceRecoversThroughHome)
+{
+    // Stale-pointer chase: owners evict their blocks without
+    // notifying pointer holders, so direct reads land on ex-owners
+    // and bounce back as NackNotOwner. Every nacked read must
+    // retry through the home and still observe a linearizable
+    // value; the directory must end exact.
+    net::OmegaNetwork net(8);
+    ConcurrentParams params = baseParams();
+    params.geometry = cache::Geometry{4, 1, 2};
+    ConcurrentProtocol p(net, params);
+
+    workload::UniformRandomParams up;
+    up.numCpus = 8;
+    up.addrRange = 4 * 3;
+    up.writeFraction = 0.3;
+    up.numRefs = 6000;
+    up.seed = 7;
+    workload::UniformRandomWorkload w(up);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().pointerNacks, 0u);
+    // The race is the exception, not the rule: most bypass reads
+    // still hit the true owner.
+    EXPECT_GT(p.counters().pointerReads,
+              p.counters().pointerNacks);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, EvictAckHandshakeSerializesOwnedEvictions)
+{
+    // One-entry caches force an owned victim out on nearly every
+    // miss. Each such eviction must run the EvictReq/EvictAck
+    // handshake with the home (acquiring the block's busy period)
+    // before the state moves, so concurrent requests for the
+    // victim queue instead of racing the write-back.
+    net::OmegaNetwork net(8);
+    ConcurrentParams params = baseParams();
+    params.geometry = cache::Geometry{4, 1, 1};
+    ConcurrentProtocol p(net, params);
+
+    workload::UniformRandomParams up;
+    up.numCpus = 8;
+    up.addrRange = 4 * 6;
+    up.writeFraction = 0.5;
+    up.numRefs = 4000;
+    up.seed = 7;
+    workload::UniformRandomWorkload w(up);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().evictions, 0u);
+    EXPECT_GT(p.counters().writeBacks, 0u);
+    // Contending transactions were held back by eviction busy
+    // periods at least once.
+    EXPECT_GT(p.counters().homeQueued, 0u);
+    expectQuiescentClean(p);
+}
+
+TEST(Concurrent, EvictionHandoffTransfersOwnershipToSharer)
+{
+    // Distributed-write mode keeps sharers registered, so an
+    // evicting owner can offer ownership to a present copy
+    // instead of writing back to memory. Both the accepted offers
+    // and the nacked ones (sharer lost its copy meanwhile) must
+    // resolve without value or directory corruption.
+    net::OmegaNetwork net(8);
+    ConcurrentParams params = baseParams();
+    params.geometry = cache::Geometry{4, 1, 1};
+    params.defaultMode = cache::Mode::DistributedWrite;
+    ConcurrentProtocol p(net, params);
+
+    workload::UniformRandomParams up;
+    up.numCpus = 8;
+    up.addrRange = 4 * 6;
+    up.writeFraction = 0.4;
+    up.numRefs = 4000;
+    up.seed = 13;
+    workload::UniformRandomWorkload w(up);
+    auto res = p.run(w);
+    EXPECT_EQ(res.valueErrors, 0u);
+    EXPECT_GT(p.counters().handoffs, 0u);
+    EXPECT_GT(p.counters().handoffNacks, 0u);
+    expectQuiescentClean(p);
+}
+
 TEST(Concurrent, RandomSweepAcrossConfigs)
 {
     struct Cfg
