@@ -96,6 +96,7 @@ main()
                 "# overhead; the protocol's decisions and the "
                 "paper's traffic shapes are unchanged.\n");
 
+    bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), events);
     return 0;
 }

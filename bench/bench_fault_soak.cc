@@ -20,10 +20,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "core/bench_json.hh"
 #include "core/sweep.hh"
+#include "sim/logging.hh"
 
 using namespace mscp;
 using core::EngineKind;
@@ -168,6 +171,21 @@ main()
     bench.metric("armed_sec", armedSec);
     bench.metric("hardening_overhead",
                  plainSec > 0 ? armedSec / plainSec : 0.0);
+    bench.latencies(core::mergeLatencies(results));
+
+    // Chrome/Perfetto trace capture: re-run one representative
+    // soak point (the all-faults mix) with the tracer forced on
+    // and write its trace_event JSON to $MSCP_TRACE_OUT. Stdout is
+    // untouched, so the table above stays byte-stable.
+    if (const char *trace_path = std::getenv("MSCP_TRACE_OUT")) {
+        std::ofstream trace_file(trace_path);
+        if (!trace_file) {
+            warn("cannot open trace output file %s", trace_path);
+        } else {
+            core::runPointTraced(point(mixes[4], 1, true),
+                                 trace_file);
+        }
+    }
 
     bench.finish(points.size(), events);
     return 0;

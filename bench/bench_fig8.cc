@@ -100,6 +100,7 @@ main()
                 "force-gr) < no-cache; write-once peaks near "
                 "w=0.5\n");
 
+    bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), 0);
     return 0;
 }

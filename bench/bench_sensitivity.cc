@@ -96,6 +96,7 @@ main()
                 "# model excludes); traffic grows ~log N with "
                 "machine size (longer paths).\n");
 
+    bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), 0);
     return 0;
 }

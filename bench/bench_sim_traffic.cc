@@ -105,6 +105,7 @@ main()
                 "adaptive tracks the lower envelope of the\n"
                 "# two-mode pair and stays below no-cache.\n");
 
+    bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), events);
     return 0;
 }

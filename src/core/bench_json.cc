@@ -70,6 +70,25 @@ BenchJson::note(const char *key, const char *value)
 }
 
 void
+BenchJson::latencies(const OpLatencies &lats)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(OpClass::NumClasses); ++i) {
+        const auto cls = static_cast<OpClass>(i);
+        const LatencyHistogram &h = lats.of(cls);
+        if (h.count() == 0)
+            continue;
+        const std::string base = std::string("lat_") +
+            opClassName(cls);
+        metric((base + "_count").c_str(), h.count());
+        metric((base + "_p50").c_str(), h.percentile(0.50));
+        metric((base + "_p95").c_str(), h.percentile(0.95));
+        metric((base + "_p99").c_str(), h.percentile(0.99));
+        metric((base + "_max").c_str(), h.max());
+    }
+}
+
+void
 BenchJson::finish(std::uint64_t runs, std::uint64_t events)
 {
     const char *path = std::getenv("MSCP_BENCH_JSON");

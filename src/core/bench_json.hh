@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/latency.hh"
+
 namespace mscp::core
 {
 
@@ -54,6 +56,12 @@ class BenchJson
     void metric(const char *key, double v);
     void metric(const char *key, std::uint64_t v);
     void note(const char *key, const char *value);
+    /**
+     * Emit lat_<class>_{count,p50,p95,p99,max} metrics for every
+     * operation class in @p lats with at least one sample
+     * (DESIGN.md 5c schema).
+     */
+    void latencies(const OpLatencies &lats);
     /** @} */
 
     /**

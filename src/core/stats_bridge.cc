@@ -16,7 +16,7 @@ StatsBridge::addFormula(stats::Group *parent, std::string name,
 
 StatsBridge::StatsBridge(System &system, const std::string &name)
     : sys(system), root(name), protoGroup("protocol", &root),
-      netGroup("network", &root)
+      netGroup("network", &root), latGroup("latency", &root)
 {
     auto &p = sys.protocol();
     const auto &c = p.counters();
@@ -92,6 +92,38 @@ StatsBridge::StatsBridge(System &system, const std::string &name)
                        return static_cast<double>(
                            net.linkStats().levelBits(lvl));
                    });
+    }
+}
+
+void
+StatsBridge::attachLatencies(const OpLatencies &lats)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(OpClass::NumClasses); ++i) {
+        const auto cls = static_cast<OpClass>(i);
+        const std::string base = opClassName(cls);
+        const LatencyHistogram &h = lats.of(cls);
+        addFormula(&latGroup, base + "_count",
+                   base + " completions sampled",
+                   [&h] { return static_cast<double>(h.count()); });
+        addFormula(&latGroup, base + "_p50",
+                   base + " median latency, ticks", [&h] {
+                       return static_cast<double>(
+                           h.percentile(0.50));
+                   });
+        addFormula(&latGroup, base + "_p95",
+                   base + " 95th-percentile latency, ticks", [&h] {
+                       return static_cast<double>(
+                           h.percentile(0.95));
+                   });
+        addFormula(&latGroup, base + "_p99",
+                   base + " 99th-percentile latency, ticks", [&h] {
+                       return static_cast<double>(
+                           h.percentile(0.99));
+                   });
+        addFormula(&latGroup, base + "_max",
+                   base + " worst-case latency, ticks",
+                   [&h] { return static_cast<double>(h.max()); });
     }
 }
 

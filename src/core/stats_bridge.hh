@@ -14,6 +14,7 @@
 #include <ostream>
 #include <vector>
 
+#include "core/latency.hh"
 #include "core/system.hh"
 #include "sim/stats.hh"
 
@@ -34,6 +35,14 @@ class StatsBridge
     /** Root statistics group (live values, computed on demand). */
     const stats::Group &group() const { return root; }
 
+    /**
+     * Add a "latency" group exposing p50/p95/p99/max and sample
+     * counts per operation class from @p lats (must outlive the
+     * bridge). Formulas read the histograms on demand, so the same
+     * OpLatencies can keep accumulating after attachment.
+     */
+    void attachLatencies(const OpLatencies &lats);
+
     /** Dump every statistic. */
     void dump(std::ostream &os) const { root.dump(os); }
 
@@ -42,6 +51,7 @@ class StatsBridge
     stats::Group root;
     stats::Group protoGroup;
     stats::Group netGroup;
+    stats::Group latGroup;
     std::vector<std::unique_ptr<stats::Formula>> formulas;
 
     void addFormula(stats::Group *parent, std::string name,

@@ -1,5 +1,7 @@
 #include "sweep.hh"
 
+#include <ostream>
+
 #include "proto/checker.hh"
 #include "proto/concurrent.hh"
 #include "proto/dragon.hh"
@@ -127,7 +129,7 @@ makeFaultPlan(const SweepPoint &pt)
 }
 
 SweepResult
-runConcurrent(const SweepPoint &pt)
+runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
 {
     net::OmegaNetwork net(pt.numPorts);
     proto::ConcurrentParams cp;
@@ -138,10 +140,20 @@ runConcurrent(const SweepPoint &pt)
     cp.jitterSeed = pt.faultSeed ^ 0x7e11;
     cp.watchdogPeriod = pt.watchdogPeriod;
     cp.watchdogAge = pt.watchdogAge;
+    cp.traceEnabled = pt.traceEnabled || trace_out != nullptr;
+    cp.traceCapacity = pt.traceCapacity;
     proto::ConcurrentProtocol proto(net, cp);
+    SweepResult out;
+    // The sink captures &out.latencies; out is NRVO'd in place, so
+    // the pointer stays valid for the whole run.
+    proto.setLatencySink(
+        proto::ConcurrentProtocol::LatencySink(
+            [lats = &out.latencies](OpClass c, Tick v)
+            { lats->sample(c, v); }));
     auto stream = makeStream(pt);
     proto::ConcurrentRunResult r = proto.run(stream);
-    SweepResult out;
+    if (trace_out)
+        exportChromeTrace(*trace_out, proto.tracer());
     out.refs = r.refs;
     out.networkBits = r.networkBits;
     out.messages = proto.messageCounters().totalCount();
@@ -202,6 +214,23 @@ runPoint(const SweepPoint &pt)
         return runConcurrent(pt);
     }
     panic("unknown engine kind");
+}
+
+SweepResult
+runPointTraced(const SweepPoint &pt, std::ostream &trace_out)
+{
+    panic_if(pt.engine != EngineKind::Concurrent,
+             "runPointTraced: only the concurrent engine is traced");
+    return runConcurrent(pt, &trace_out);
+}
+
+OpLatencies
+mergeLatencies(const std::vector<SweepResult> &results)
+{
+    OpLatencies all;
+    for (const SweepResult &r : results)
+        all.merge(r.latencies);
+    return all;
 }
 
 std::vector<SweepResult>

@@ -21,8 +21,10 @@
 #define MSCP_CORE_SWEEP_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
+#include "core/latency.hh"
 #include "core/system.hh"
 #include "sim/pool.hh"
 #include "sim/types.hh"
@@ -82,6 +84,14 @@ struct SweepPoint
     /** Run the end-state invariant checker after a clean run. */
     bool checkEndState = false;
     /** @} */
+
+    /** @{ observability (concurrent engine only) */
+    /** Enable the event tracer for this point (the engine also
+     *  auto-enables it while a watchdog is armed). */
+    bool traceEnabled = false;
+    /** Tracer ring capacity in records. */
+    std::size_t traceCapacity = 4096;
+    /** @} */
 };
 
 /** Result of one sweep point. */
@@ -108,6 +118,13 @@ struct SweepResult
     /** End-state invariant violations (checkEndState only). */
     std::uint64_t invariantErrors = 0;
     /** @} */
+    /**
+     * Per-operation-class latency histograms (concurrent engine
+     * only; empty otherwise). Pure counter state, so the defaulted
+     * operator== and the thread-count-stability contract both keep
+     * holding; merge across points with mergeLatencies().
+     */
+    OpLatencies latencies;
 
     double
     bitsPerRef() const
@@ -121,6 +138,22 @@ struct SweepResult
 
 /** Execute one point (serial helper; thread-safe by construction). */
 SweepResult runPoint(const SweepPoint &pt);
+
+/**
+ * Execute one concurrent-engine point with tracing forced on and
+ * write the run's Chrome trace_event JSON (Perfetto-loadable) to
+ * @p trace_out afterwards. The SweepResult is identical to
+ * runPoint's for the same point: tracing is pure observation.
+ */
+SweepResult runPointTraced(const SweepPoint &pt,
+                           std::ostream &trace_out);
+
+/**
+ * Merge every point's latency histograms in index order. Plain
+ * counter addition: the merged result is bit-identical however the
+ * points were scheduled.
+ */
+OpLatencies mergeLatencies(const std::vector<SweepResult> &results);
 
 /**
  * Execute every point, fanned over @p num_threads workers.

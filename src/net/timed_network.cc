@@ -62,8 +62,15 @@ TimedNetwork::scheduleDelivery(const DeliveryFn &on_delivery,
 {
     if (faults) {
         FaultDecision d = faults->decide(dst, when);
-        if (d.drop)
+        const auto cls =
+            static_cast<std::uint8_t>(faults->messageClass());
+        if (d.drop) {
+            if (tracer) {
+                tracer->record(TraceEvent::FaultDrop, eq.curTick(),
+                               dst, 0, cls, 0, when);
+            }
             return;
+        }
         when += d.extraDelay;
         // Keep per-channel FIFO: never deliver earlier than the
         // last delivery already scheduled for this port (see the
@@ -76,6 +83,10 @@ TimedNetwork::scheduleDelivery(const DeliveryFn &on_delivery,
             Tick dup = when + d.dupDelay;
             last = std::max(last, dup);
             ++_lastDeliveries;
+            if (tracer) {
+                tracer->record(TraceEvent::FaultDup, eq.curTick(),
+                               dst, 0, cls, 0, dup);
+            }
             if (on_delivery)
                 eq.schedule([on_delivery, dst, dup] {
                     on_delivery(dst, dup);
@@ -84,6 +95,10 @@ TimedNetwork::scheduleDelivery(const DeliveryFn &on_delivery,
     }
     last = std::max(last, when);
     ++_lastDeliveries;
+    if (tracer) {
+        tracer->record(TraceEvent::NetDeliver, eq.curTick(), dst, 0,
+                       0, 0, when);
+    }
     if (on_delivery)
         eq.schedule([on_delivery, dst, when] {
             on_delivery(dst, when);

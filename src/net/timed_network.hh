@@ -20,6 +20,7 @@
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 #include "sim/inline_function.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace mscp::net
@@ -108,6 +109,15 @@ class TimedNetwork
      */
     std::uint64_t lastDeliveries() const { return _lastDeliveries; }
 
+    /**
+     * Attach a tracer recording a NetDeliver record per scheduled
+     * delivery and FaultDrop/FaultDup records for injector
+     * decisions. Attach only while tracing is enabled (the owner's
+     * job) so the untraced delivery path pays one null-pointer
+     * branch. Pass nullptr to detach.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
+
   private:
     std::size_t
     linkIndex(unsigned level, unsigned line) const
@@ -123,6 +133,7 @@ class TimedNetwork
     OmegaNetwork &net;
     EventQueue &eq;
     FaultInjector *faults = nullptr;
+    Tracer *tracer = nullptr;
     Bits linkWidthBits;
     Tick hopLatency;
     /** Tick at which each link becomes free again. */

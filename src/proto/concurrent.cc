@@ -14,12 +14,27 @@ ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
                                        ConcurrentParams p)
     : params(p), net(network),
       timedNet(network, eq, p.linkWidthBits, p.hopLatency),
-      injector(p.faultPlan), retryRng(p.jitterSeed)
+      injector(p.faultPlan), retryRng(p.jitterSeed),
+      _tracer(p.traceCapacity)
 {
     params.geometry.check();
     // Self-gating: a disabled plan detaches and the delivery path
     // is byte-identical to a build without injection.
     timedNet.setFaultInjector(&injector);
+    // Tracing is switched on explicitly or piggybacks on an armed
+    // watchdog (so deadlock reports always carry history). The
+    // queue and network tracers stay detached otherwise, keeping
+    // their untraced paths to a single branch.
+    if (traceCompiledIn() &&
+        (params.traceEnabled || params.watchdogPeriod > 0)) {
+        _tracer.setEnabled(true);
+        // When the tracer rides along only as the watchdog's
+        // history buffer, ring overwrite is its designed steady
+        // state - don't warn about it.
+        _tracer.setOverflowWarn(params.traceEnabled);
+        eq.setTracer(&_tracer);
+        timedNet.setTracer(&_tracer);
+    }
     unsigned n = network.numPorts();
     cpus.reserve(n);
     homes.reserve(n);
@@ -198,6 +213,8 @@ ConcurrentProtocol::send(Msg m)
 {
     Bits total = params.sizes.control() + payloadBits(m);
     msgs.record(m.type, total);
+    trace(TraceEvent::Send, m.src, m.dst,
+          static_cast<std::uint8_t>(m.type), m.seq, m.blk);
     if (m.src == m.dst) {
         // Co-located processor-memory element: local exchange.
         scheduleLocal(std::move(m), 1);
@@ -237,6 +254,10 @@ ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
         return;
     Bits total = params.sizes.control() + payload;
     msgs.record(t, total);
+    // node2 carries the destination count for multicasts.
+    trace(TraceEvent::Send, src,
+          static_cast<NodeId>(dests.size()),
+          static_cast<std::uint8_t>(t), 0, blk);
     Msg proto_msg;
     proto_msg.type = t;
     proto_msg.src = src;
@@ -274,6 +295,8 @@ ConcurrentProtocol::deliver(const Msg &m)
             static_cast<unsigned long long>(m.blk), m.requester,
             m.offset, static_cast<unsigned long long>(m.value),
             m.flag, m.toMemory ? "mem" : "cache");
+    trace(TraceEvent::Deliver, m.src, m.dst,
+          static_cast<std::uint8_t>(m.type), m.seq, m.blk);
     if (_aborted)
         return; // watchdog fired: freeze state, let the queue drain
     if (m.toMemory)
@@ -310,6 +333,12 @@ ConcurrentProtocol::issueNext(NodeId cpu)
     } else {
         ++ctrs.reads;
     }
+    cs.opId = ++cs.opGen;
+    cs.opClass = cs.ref.isWrite ? OpClass::WriteMiss
+        : OpClass::ReadMiss;
+    trace(TraceEvent::Issue, cpu, cpu,
+          static_cast<std::uint8_t>(cs.opClass), cs.opId,
+          params.geometry.blockOf(cs.ref.addr));
     startAccess(cpu);
 }
 
@@ -319,6 +348,10 @@ ConcurrentProtocol::completeRef(NodeId cpu)
     CpuState &cs = cpus[cpu];
     panic_if(!cs.active, "completing an idle cpu");
     Tick latency = eq.curTick() - cs.issueTick;
+    if (latSink)
+        latSink(cs.opClass, latency);
+    trace(TraceEvent::Complete, cpu, cpu,
+          static_cast<std::uint8_t>(cs.opClass), cs.opId, latency);
     if (cs.ref.isWrite) {
         monitorWriteComplete(cs.ref.addr, cs.ref.value);
         writeLatSum += static_cast<double>(latency);
@@ -365,7 +398,10 @@ ConcurrentProtocol::startAccess(NodeId cpu)
             ++ctrs.readHits;
             cs.array.touch(*e);
             checkReadSample(cs.ref.addr, e->data[off]);
+            cs.opClass = OpClass::ReadHit;
             cs.phase = Phase::Commit;
+            trace(TraceEvent::Commit, cpu, cpu,
+                  static_cast<std::uint8_t>(cs.opClass), cs.opId, 0);
             eq.scheduleIn([this, cpu] { completeRef(cpu); },
                           params.hitLatency);
             return;
@@ -400,10 +436,12 @@ ConcurrentProtocol::startAccess(NodeId cpu)
         cs.array.touch(*e);
         if (cache::isOwned(e->field.state)) {
             ++ctrs.writeHits;
+            cs.opClass = OpClass::WriteHit;
             performOwnedWrite(cpu);
             return;
         }
         // UnOwned: acquire ownership through the home.
+        cs.opClass = OpClass::Upgrade;
         cs.pinnedTx.insert(blk);
         cs.phase = Phase::WaitOwnXfer;
         Msg m;
@@ -455,6 +493,8 @@ ConcurrentProtocol::performOwnedWrite(NodeId cpu)
         }
     }
     cs.phase = Phase::Commit;
+    trace(TraceEvent::Commit, cpu, cpu,
+          static_cast<std::uint8_t>(cs.opClass), cs.opId, 0);
     eq.scheduleIn([this, cpu] { completeRef(cpu); },
                   params.hitLatency);
 }
@@ -509,6 +549,9 @@ ConcurrentProtocol::allocateForMiss(NodeId cpu, BlockId blk)
       default: {
         // Owned victim: serialize the eviction with the home.
         cs.phase = Phase::WaitEvictAck;
+        cs.evictStartTick = eq.curTick();
+        trace(TraceEvent::EvictStart, cpu, homeOf(cs.victimBlk), 0,
+              cs.opId, cs.victimBlk);
         Msg m;
         m.type = MsgType::EvictReq;
         m.src = cpu;
@@ -546,6 +589,18 @@ ConcurrentProtocol::beginMissRequest(NodeId cpu, BlockId blk)
 }
 
 void
+ConcurrentProtocol::endEviction(NodeId cpu)
+{
+    CpuState &cs = cpus[cpu];
+    Tick lat = eq.curTick() - cs.evictStartTick;
+    if (latSink)
+        latSink(OpClass::Eviction, lat);
+    trace(TraceEvent::EvictEnd, cpu, cpu,
+          static_cast<std::uint8_t>(OpClass::Eviction), cs.opId,
+          lat);
+}
+
+void
 ConcurrentProtocol::continueEviction(NodeId cpu)
 {
     CpuState &cs = cpus[cpu];
@@ -563,6 +618,7 @@ ConcurrentProtocol::continueEviction(NodeId cpu)
         m.tok = cs.evictToken;
         m.flag = false;
         send(m);
+        endEviction(cpu);
         cs.evicting = false;
         cs.phase = Phase::Idle;
         startAccess(cpu);
@@ -660,6 +716,7 @@ ConcurrentProtocol::finishEviction(NodeId cpu, bool clear_owner,
     send(m);
 
     cs.array.evict(*ve);
+    endEviction(cpu);
     cs.evicting = false;
     cs.phase = Phase::Idle;
     // Resume the original access from scratch.
@@ -733,6 +790,8 @@ ConcurrentProtocol::serveForward(const Msg &m)
     panic_if(!e || !cache::isOwned(e->field.state),
              "forward reached non-owner %u for block %llu", me,
              static_cast<unsigned long long>(m.blk));
+    trace(TraceEvent::Forward, me, r,
+          static_cast<std::uint8_t>(m.type), m.seq, m.blk);
     Mode mode = cache::modeOf(e->field.state);
 
     if (m.type == MsgType::LoadFwd) {
@@ -907,6 +966,9 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             checkReadSample(params.geometry.baseOf(m.blk) +
                             m.offset, e->data[m.offset]);
         } else {
+            trace(TraceEvent::Nack, me, m.requester,
+                  static_cast<std::uint8_t>(MsgType::NackNotOwner),
+                  m.seq, m.blk);
             Msg nack;
             nack.type = MsgType::NackNotOwner;
             nack.src = me;
@@ -1261,6 +1323,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
         send(x);
 
         cs.array.evict(*ve);
+        endEviction(me);
         cs.evicting = false;
         cs.phase = Phase::Idle;
         startAccess(me);
@@ -1335,13 +1398,20 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
                 // request is never served twice from the queue.
                 w = m;
                 ++ctrs.dupRequests;
+                trace(TraceEvent::HomeDup, m.dst, m.requester,
+                      static_cast<std::uint8_t>(m.type), m.seq, blk);
                 return;
             }
         }
         q.push_back(m);
         ++ctrs.homeQueued;
+        trace(TraceEvent::HomeQueue, m.dst, m.requester,
+              static_cast<std::uint8_t>(m.type), m.seq, blk);
         return;
     }
+
+    trace(TraceEvent::HomeAccept, m.dst, m.requester,
+          static_cast<std::uint8_t>(m.type), m.seq, blk);
 
     if (m.type == MsgType::EvictReq) {
         h.busy.insert(blk);
@@ -1448,6 +1518,8 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
         std::uint64_t &seen = h.seqSeen[m.requester];
         if (m.seq <= seen) {
             ++ctrs.dupRequests;
+            trace(TraceEvent::HomeDup, m.dst, m.requester,
+                  static_cast<std::uint8_t>(m.type), m.seq, blk);
             return;
         }
         seen = m.seq;
@@ -1579,6 +1651,8 @@ ConcurrentProtocol::onTimeout(NodeId cpu, std::uint64_t seq)
     if (_aborted || !cs.active || cs.txSeq != seq)
         return;
     ++ctrs.timeouts;
+    trace(TraceEvent::Timeout, cpu, cpu,
+          static_cast<std::uint8_t>(cs.phase), cs.opId, cs.attempts);
     if (cs.attempts >= params.maxRetries) {
         ++ctrs.retriesExhausted;
         return; // wedged for good: the watchdog reports it
@@ -1601,6 +1675,9 @@ ConcurrentProtocol::onTimeout(NodeId cpu, std::uint64_t seq)
         // flight would orphan the ownership or present bit that
         // serve carries.
         ++ctrs.retries;
+        trace(TraceEvent::Retry, cpu, cs.lastReq.dst,
+              static_cast<std::uint8_t>(cs.lastReq.type), cs.opId,
+              cs.attempts);
         send(cs.lastReq);
         armTimeout(cpu);
         return;
@@ -1611,6 +1688,9 @@ ConcurrentProtocol::onTimeout(NodeId cpu, std::uint64_t seq)
         // and invalidations are idempotent and the ack filter
         // (ackFrom) absorbs duplicate acknowledgements.
         ++ctrs.retries;
+        trace(TraceEvent::Retry, cpu, cpu,
+              static_cast<std::uint8_t>(cs.phase), cs.opId,
+              cs.attempts);
         std::vector<NodeId> rest;
         const DynamicBitset &a = cs.ackFrom;
         for (std::size_t i = a.findFirst(); i < a.size();
@@ -1659,6 +1739,11 @@ ConcurrentProtocol::watchdogTick()
         return;
     }
     ctrs.watchdogDeadlocks += dead.size();
+    for (NodeId c : dead) {
+        trace(TraceEvent::WatchdogFlag, c, c,
+              static_cast<std::uint8_t>(cpus[c].phase), cpus[c].opId,
+              now - cpus[c].issueTick);
+    }
     _deadlockReport = buildDeadlockReport(dead);
     warn("concurrent watchdog: %zu transaction(s) exceeded age "
          "%llu at tick %llu - protocol deadlock\n%s",
@@ -1717,6 +1802,60 @@ ConcurrentProtocol::buildDeadlockReport(
             static_cast<unsigned long long>(tok ? *tok : 0),
             q ? q->size() : 0,
             h.mem.blockStore().owner(blk));
+        // Replay the last trace records touching this cpu: the
+        // state snapshot says where the transaction is stuck, the
+        // timeline says how it got there.
+        if (_tracer.enabled()) {
+            constexpr std::size_t HistN = 16;
+            std::vector<TraceRecord> hist;
+            _tracer.forEach([&](const TraceRecord &r) {
+                if (r.node == c || r.node2 == c) {
+                    if (hist.size() == HistN)
+                        hist.erase(hist.begin());
+                    hist.push_back(r);
+                }
+            });
+            out += csprintf("        last %zu event(s):\n",
+                            hist.size());
+            for (const TraceRecord &r : hist) {
+                const auto ev = static_cast<TraceEvent>(r.kind);
+                const char *cls = "";
+                switch (ev) {
+                  case TraceEvent::Send:
+                  case TraceEvent::Deliver:
+                  case TraceEvent::Forward:
+                  case TraceEvent::Nack:
+                  case TraceEvent::Retry:
+                  case TraceEvent::HomeAccept:
+                  case TraceEvent::HomeQueue:
+                  case TraceEvent::HomeDup:
+                    cls = msgTypeName(static_cast<MsgType>(r.cls));
+                    break;
+                  case TraceEvent::Issue:
+                  case TraceEvent::Commit:
+                  case TraceEvent::Complete:
+                  case TraceEvent::EvictEnd:
+                    cls = opClassName(static_cast<OpClass>(r.cls));
+                    break;
+                  case TraceEvent::Timeout:
+                  case TraceEvent::WatchdogFlag:
+                    cls = phaseName(static_cast<Phase>(r.cls));
+                    break;
+                  default:
+                    break;
+                }
+                out += csprintf(
+                    "          t=%llu %s %u->%u %s seq=%llu "
+                    "arg=%llu\n",
+                    static_cast<unsigned long long>(r.tick),
+                    traceEventName(ev), r.node, r.node2, cls,
+                    static_cast<unsigned long long>(r.seq),
+                    static_cast<unsigned long long>(r.arg));
+            }
+        } else {
+            out += "        (no event history: tracing disabled "
+                   "or compiled out)\n";
+        }
     }
     std::size_t inflight = 0;
     for (const MsgSlot &s : msgSlab) {

@@ -50,6 +50,7 @@
 #include "sim/fault.hh"
 #include "sim/flat.hh"
 #include "sim/random.hh"
+#include "sim/trace.hh"
 #include "workload/ref_stream.hh"
 
 namespace mscp::proto
@@ -120,6 +121,19 @@ struct ConcurrentParams
     Tick watchdogPeriod = 0;
     Tick watchdogAge = 50000;
     /** @} */
+
+    /** @{ observability (pure observation: simulation results and
+     *  bench stdout are unchanged whether tracing runs or not) */
+    /**
+     * Runtime tracing enable. The tracer is also switched on
+     * whenever the watchdog is armed (watchdogPeriod > 0) so a
+     * deadlock report always carries event history. With tracing
+     * compiled out (MSCP_TRACE=OFF) both knobs are inert.
+     */
+    bool traceEnabled = false;
+    /** Ring capacity in records (rounded up to a power of two). */
+    std::size_t traceCapacity = 4096;
+    /** @} */
 };
 
 /** Result of a concurrent run. */
@@ -139,9 +153,25 @@ struct ConcurrentRunResult
 class ConcurrentProtocol
 {
   public:
+    /**
+     * Per-completion latency sink: (operation class, latency in
+     * ticks). An inline trivially-copyable callable so attaching
+     * one adds no allocation to the completion path; the sweep
+     * layer feeds it into a core::OpLatencies histogram set (the
+     * engine itself stays independent of the core library).
+     */
+    using LatencySink = InlineCallback<OpClass, Tick>;
+
     ConcurrentProtocol(net::OmegaNetwork &network,
                        ConcurrentParams params);
     ~ConcurrentProtocol();
+
+    /** Install the per-completion latency sink (may be empty). */
+    void setLatencySink(LatencySink sink) { latSink = sink; }
+
+    /** The engine's event tracer (empty unless tracing is enabled
+     *  via ConcurrentParams or an armed watchdog). */
+    const Tracer &tracer() const { return _tracer; }
 
     /**
      * Run a reference stream: per-cpu program order, one
@@ -291,6 +321,18 @@ class ConcurrentProtocol
          *  EvictDone (and hand-off StateXfer) that releases it. */
         std::uint64_t evictToken = 0;
         /** @} */
+        /** @{ observability */
+        /** Per-cpu transaction id: stable across retries (unlike
+         *  txSeq, which is per attempt), so trace spans and the
+         *  deadlock report can follow one reference end to end. */
+        std::uint64_t opId = 0;
+        std::uint64_t opGen = 0;
+        /** Classification of the current reference, finalized by
+         *  startAccess; sampled into the latency histograms. */
+        OpClass opClass = OpClass::ReadMiss;
+        /** Start tick of an owned-victim eviction handshake. */
+        Tick evictStartTick = 0;
+        /** @} */
         /** Caches expected to acknowledge (updates/invalidates). */
         DynamicBitset ackFrom;
         /** Eviction context. */
@@ -393,6 +435,21 @@ class ConcurrentProtocol
     void drainHomeQueue(HomeState &h, BlockId blk);
     /** @} */
 
+    /** @{ observability */
+    /** Append one trace record stamped with the current tick. */
+    void trace(TraceEvent ev, NodeId node, NodeId node2,
+               std::uint8_t cls, std::uint64_t seq,
+               std::uint64_t arg)
+    {
+        _tracer.record(ev, eq.curTick(),
+                       static_cast<std::uint16_t>(node),
+                       static_cast<std::uint16_t>(node2), cls, seq,
+                       arg);
+    }
+    /** Close an eviction handshake span and sample its latency. */
+    void endEviction(NodeId cpu);
+    /** @} */
+
     /** @{ robustness: timeouts, retry, watchdog */
     /** Delivery-fault class of a message type. */
     static FaultClass classOf(MsgType t);
@@ -441,6 +498,11 @@ class ConcurrentProtocol
     std::string _deadlockReport;
     EventId watchdogEv = 0;
     bool watchdogArmed = false;
+    /** Event tracer; enabled() is false unless switched on at
+     *  construction (traceEnabled or an armed watchdog). */
+    Tracer _tracer;
+    /** Per-completion latency sink (empty = no sampling). */
+    LatencySink latSink;
 
     std::vector<CpuState> cpus;
     std::vector<HomeState> homes;

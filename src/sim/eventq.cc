@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace mscp
 {
@@ -83,6 +84,10 @@ EventQueue::schedule(InlineFunction cb, Tick when)
              static_cast<unsigned long long>(when),
              static_cast<unsigned long long>(_curTick));
     EventId id = nextSeq++;
+    if (tracer) {
+        tracer->record(TraceEvent::EvSchedule, _curTick, 0, 0, 0,
+                       id, when);
+    }
     push(Node{when, id, std::move(cb)});
     pending.insert(id);
     return id;

@@ -28,6 +28,8 @@
 namespace mscp
 {
 
+class Tracer;
+
 /** Opaque handle identifying a scheduled event for descheduling. */
 using EventId = std::uint64_t;
 
@@ -115,6 +117,14 @@ class EventQueue
     /** Drop every pending event and reset time to zero. */
     void reset();
 
+    /**
+     * Attach a tracer recording an EvSchedule record per schedule()
+     * call. Attach only while tracing is enabled (the owner's job),
+     * so the untraced path pays exactly one null-pointer branch.
+     * Pass nullptr to detach.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
+
   private:
     struct Node
     {
@@ -137,6 +147,7 @@ class EventQueue
     /** Drop tombstoned nodes off the top of the heap. */
     void pruneTop();
 
+    Tracer *tracer = nullptr;
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t _executed = 0;

@@ -39,7 +39,47 @@ namespace
 
 bool throwsOnError = true;
 
+/** Parse MSCP_LOG once, before main(); default keeps the historical
+ *  behavior (warn and inform both print). */
+LogLevel
+initialLogLevel()
+{
+    if (const char *env = std::getenv("MSCP_LOG"))
+        return parseLogLevel(env, LogLevel::Info);
+    return LogLevel::Info;
+}
+
+LogLevel currentLevel = initialLogLevel();
+
 } // anonymous namespace
+
+void
+setLogLevel(LogLevel lvl)
+{
+    currentLevel = lvl;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel;
+}
+
+LogLevel
+parseLogLevel(const std::string &name, LogLevel fallback)
+{
+    if (name == "silent" || name == "0")
+        return LogLevel::Silent;
+    if (name == "error" || name == "1")
+        return LogLevel::Error;
+    if (name == "warn" || name == "warning" || name == "2")
+        return LogLevel::Warn;
+    if (name == "info" || name == "3")
+        return LogLevel::Info;
+    if (name == "debug" || name == "4")
+        return LogLevel::Debug;
+    return fallback;
+}
 
 void
 setLoggingThrows(bool throws)
@@ -86,6 +126,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
+    if (currentLevel < LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
@@ -96,6 +138,8 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
+    if (currentLevel < LogLevel::Info)
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);

@@ -12,6 +12,12 @@
  * DPRINTF(flag, ...) prints only when the named debug flag is enabled
  * (programmatically or via the MSCP_DEBUG environment variable, a
  * comma-separated flag list; "All" enables everything).
+ *
+ * warn() and inform() are additionally gated by a runtime log level,
+ * settable programmatically (setLogLevel) or via the MSCP_LOG
+ * environment variable ("silent", "error", "warn", "info" - the
+ * default - or "debug"). panic/fatal are never suppressed, and
+ * DPRINTF stays governed by its own flag set.
  */
 
 #ifndef MSCP_SIM_LOGGING_HH
@@ -22,6 +28,33 @@
 
 namespace mscp
 {
+
+/**
+ * Runtime verbosity. Each level includes everything above it:
+ * Silent suppresses warn() and inform(), Warn shows warnings only,
+ * Info (the default) restores the historical behavior where both
+ * print. Error exists as an explicit "problems only" setting; since
+ * panic/fatal are never suppressed it currently filters like Silent.
+ */
+enum class LogLevel : int
+{
+    Silent = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+};
+
+/** Set the runtime log level (overrides MSCP_LOG). */
+void setLogLevel(LogLevel lvl);
+LogLevel logLevel();
+
+/**
+ * Parse a level name ("silent", "error", "warn"/"warning", "info",
+ * "debug", case-sensitive lowercase as documented) or a numeric
+ * value 0-4. @return @p fallback for anything unrecognized.
+ */
+LogLevel parseLogLevel(const std::string &name, LogLevel fallback);
 
 /** Printf-style formatting into a std::string. */
 std::string csprintf(const char *fmt, ...)

@@ -93,6 +93,33 @@ TEST(StatsBridge, LevelBitsSumToTotal)
     EXPECT_EQ(sum, ls.totalBits());
 }
 
+TEST(StatsBridge, AttachedLatenciesExposePercentiles)
+{
+    System sys(cfg16());
+    StatsBridge bridge(sys);
+
+    OpLatencies lats;
+    bridge.attachLatencies(lats);
+
+    // Formulas are live: samples added after attachment show up.
+    for (Tick v = 1; v <= 10; ++v)
+        lats.sample(OpClass::ReadMiss, v);
+    lats.sample(OpClass::Eviction, 1000);
+
+    std::ostringstream os;
+    bridge.dump(os);
+    auto s = os.str();
+    EXPECT_NE(s.find("system.latency.read_miss_count"),
+              std::string::npos);
+    EXPECT_NE(s.find("system.latency.read_miss_p50"),
+              std::string::npos);
+    EXPECT_NE(s.find("system.latency.read_miss_p99"),
+              std::string::npos);
+    EXPECT_NE(s.find("system.latency.eviction_max"),
+              std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+}
+
 TEST(MessageTable, ListsOnlyUsedTypes)
 {
     System sys(cfg16());

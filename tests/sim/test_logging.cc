@@ -57,3 +57,40 @@ TEST(DebugFlags, AllEnablesEverything)
     debug::clear();
     EXPECT_FALSE(debug::enabled("Anything"));
 }
+
+TEST(LogLevel, ParseAcceptsNamesAndNumbers)
+{
+    using mscp::LogLevel;
+    EXPECT_EQ(parseLogLevel("silent", LogLevel::Info),
+              LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("error", LogLevel::Info),
+              LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("warn", LogLevel::Info), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning", LogLevel::Info),
+              LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info", LogLevel::Silent),
+              LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug", LogLevel::Info),
+              LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("2", LogLevel::Info), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("bogus", LogLevel::Warn),
+              LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("", LogLevel::Error), LogLevel::Error);
+}
+
+TEST(LogLevel, RuntimeSetAndGetRoundTrips)
+{
+    using mscp::LogLevel;
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // Suppressed warn/inform must not throw or print; panic/fatal
+    // stay fatal at every level.
+    warn("suppressed warning %d", 1);
+    inform("suppressed inform");
+    EXPECT_THROW(panic("still fatal"), PanicError);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+    EXPECT_EQ(logLevel(), before);
+}

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Unit tests for the binary ring-buffer event tracer: capacity
+ * rounding, wraparound and overflow accounting, enable gating, and
+ * the Chrome trace_event exporter (golden output, JSON validity and
+ * the matched begin/end pair guarantee).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+using namespace mscp;
+
+namespace
+{
+
+TraceRecord
+rec(TraceEvent kind, Tick tick, std::uint16_t node,
+    std::uint16_t node2, std::uint8_t cls, std::uint64_t seq,
+    std::uint64_t arg)
+{
+    TraceRecord r{};
+    r.tick = tick;
+    r.seq = seq;
+    r.arg = arg;
+    r.node = node;
+    r.node2 = node2;
+    r.kind = static_cast<std::uint8_t>(kind);
+    r.cls = cls;
+    return r;
+}
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the
+ * RFC 8259 grammar (no trailing commas, no comments). Returns true
+ * iff the whole string is one valid JSON value.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+    bool eat(char c) { return peek() == c ? (++pos, true) : false; }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (; *word; ++word)
+            if (!eat(*word))
+                return false;
+        return true;
+    }
+
+    bool
+    object()
+    {
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        do {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat('}');
+    }
+
+    bool
+    array()
+    {
+        if (!eat('['))
+            return false;
+        skipWs();
+        if (eat(']'))
+            return true;
+        do {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat(']');
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+            }
+            ++pos;
+        }
+        return eat('"');
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        eat('-');
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+        if (eat('.'))
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return pos > start;
+    }
+};
+
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle);
+         at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+} // anonymous namespace
+
+TEST(Trace, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(Tracer(0).capacity(), 16u);
+    EXPECT_EQ(Tracer(16).capacity(), 16u);
+    EXPECT_EQ(Tracer(17).capacity(), 32u);
+    EXPECT_EQ(Tracer(4096).capacity(), 4096u);
+}
+
+TEST(Trace, RecordingIsNoOpWhileDisabled)
+{
+    // Holds in both builds: compiled out, record() is empty; compiled
+    // in, the runtime enable is off by default.
+    Tracer t(16);
+    t.record(TraceEvent::Issue, 1, 0, 0, 0, 1, 0);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.enabled());
+}
+
+TEST(Trace, EnabledReflectsCompileSwitch)
+{
+    Tracer t(16);
+    t.setEnabled(true);
+    EXPECT_EQ(t.enabled(), traceCompiledIn());
+}
+
+TEST(Trace, RingWraparoundKeepsNewestRecords)
+{
+    if (!traceCompiledIn())
+        GTEST_SKIP() << "tracing compiled out (MSCP_TRACE=OFF)";
+    Tracer t(16);
+    t.setEnabled(true);
+    for (std::uint64_t i = 0; i < 40; ++i)
+        t.record(TraceEvent::Send, i, 1, 2, 3, i, i * 10);
+
+    EXPECT_EQ(t.recorded(), 40u);
+    EXPECT_EQ(t.dropped(), 24u);
+    EXPECT_EQ(t.size(), 16u);
+
+    // forEach visits oldest-first: the survivors are seq 24..39.
+    std::vector<std::uint64_t> seqs;
+    t.forEach([&](const TraceRecord &r) { seqs.push_back(r.seq); });
+    ASSERT_EQ(seqs.size(), 16u);
+    for (std::size_t i = 0; i < seqs.size(); ++i)
+        EXPECT_EQ(seqs[i], 24u + i);
+
+    auto snap = t.snapshot();
+    ASSERT_EQ(snap.size(), 16u);
+    EXPECT_EQ(snap.front().seq, 24u);
+    EXPECT_EQ(snap.back().seq, 39u);
+    EXPECT_EQ(snap.back().arg, 390u);
+}
+
+TEST(Trace, OverflowAccountingAndClear)
+{
+    if (!traceCompiledIn())
+        GTEST_SKIP() << "tracing compiled out (MSCP_TRACE=OFF)";
+    Tracer t(16);
+    t.setEnabled(true);
+    t.setOverflowWarn(false); // quiet-overflow mode still accounts
+    for (std::uint64_t i = 0; i < 16; ++i)
+        t.record(TraceEvent::Send, i, 0, 0, 0, i, 0);
+    EXPECT_EQ(t.dropped(), 0u);
+    t.record(TraceEvent::Send, 16, 0, 0, 0, 16, 0);
+    EXPECT_EQ(t.dropped(), 1u);
+    EXPECT_EQ(t.size(), 16u);
+
+    t.clear();
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.enabled()); // clear keeps the enable state
+
+    t.record(TraceEvent::Send, 99, 0, 0, 0, 7, 0);
+    EXPECT_EQ(t.recorded(), 1u);
+}
+
+TEST(Trace, ChromeExportGolden)
+{
+    // The exporter works on plain record vectors, so this golden
+    // check runs in both MSCP_TRACE builds.
+    std::vector<TraceRecord> records{
+        rec(TraceEvent::Issue, 10, 0, 0, 1, 1, 5),
+        rec(TraceEvent::HomeAccept, 12, 3, 0, 2, 1, 5),
+        rec(TraceEvent::Complete, 20, 0, 0, 1, 1, 10),
+        rec(TraceEvent::Issue, 30, 1, 1, 0, 2, 7), // orphaned begin
+    };
+    std::ostringstream os;
+    exportChromeTrace(os, records);
+
+    const std::string expected =
+        "[\n"
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"name\":\"process_name\","
+        "\"args\":{\"name\":\"node 0\"}},\n"
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"name\":\"process_name\","
+        "\"args\":{\"name\":\"node 1\"}},\n"
+        "{\"ph\":\"M\",\"pid\":3,\"tid\":0,"
+        "\"name\":\"process_name\","
+        "\"args\":{\"name\":\"node 3\"}},\n"
+        "{\"name\":\"txn 1\",\"cat\":\"txn\",\"ph\":\"b\","
+        "\"id\":\"0x1\",\"pid\":0,\"tid\":0,\"ts\":10,"
+        "\"args\":{\"blk\":5}},\n"
+        "{\"name\":\"home_accept\",\"cat\":\"ev\",\"ph\":\"i\","
+        "\"s\":\"t\",\"pid\":3,\"tid\":0,\"ts\":12,"
+        "\"args\":{\"node2\":0,\"cls\":2,\"seq\":1,\"arg\":5}},\n"
+        "{\"name\":\"txn 1\",\"cat\":\"txn\",\"ph\":\"e\","
+        "\"id\":\"0x1\",\"pid\":0,\"tid\":0,\"ts\":20,"
+        "\"args\":{\"op\":\"read_miss\",\"latency\":10}},\n"
+        "{\"name\":\"issue\",\"cat\":\"ev\",\"ph\":\"i\","
+        "\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":30,"
+        "\"args\":{\"node2\":1,\"cls\":0,\"seq\":2,\"arg\":7}}\n"
+        "]\n";
+    EXPECT_EQ(os.str(), expected);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST(Trace, ChromeExportIsValidJsonWithMatchedPairs)
+{
+    // A messy history: interleaved transactions and evictions on
+    // several nodes, an end whose begin was overwritten, a begin
+    // whose end never arrived, and instants throughout. The export
+    // must stay valid JSON with "b"/"e" counts exactly matched.
+    std::vector<TraceRecord> records;
+    records.push_back(
+        rec(TraceEvent::Complete, 5, 9, 9, 1, 77, 3)); // begin lost
+    for (std::uint64_t op = 1; op <= 6; ++op) {
+        const std::uint16_t node = op % 3;
+        records.push_back(
+            rec(TraceEvent::Issue, op * 100, node, node, 0, op, op));
+        records.push_back(rec(TraceEvent::Send, op * 100 + 1, node,
+                              4, 0, op, op));
+        if (op % 2 == 0) {
+            records.push_back(rec(TraceEvent::EvictStart,
+                                  op * 100 + 2, node, 4, 0, op,
+                                  40 + op));
+            records.push_back(rec(TraceEvent::EvictEnd,
+                                  op * 100 + 9, node, 4, 5, op, 7));
+        }
+        if (op != 6) // op 6's span is left open
+            records.push_back(rec(TraceEvent::Complete,
+                                  op * 100 + 20, node, node, 1, op,
+                                  20));
+    }
+
+    std::ostringstream os;
+    exportChromeTrace(os, records);
+    const std::string out = os.str();
+
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_EQ(countOccurrences(out, "\"ph\":\"b\""),
+              countOccurrences(out, "\"ph\":\"e\""));
+    // 5 matched txn spans + 3 matched evict spans.
+    EXPECT_EQ(countOccurrences(out, "\"ph\":\"b\""), 8u);
+    // Orphaned begin/end degrade to instants, named by event.
+    EXPECT_EQ(countOccurrences(out, "\"name\":\"complete\""), 1u);
+    EXPECT_EQ(countOccurrences(out, "\"name\":\"issue\""), 1u);
+}
+
+TEST(Trace, ChromeExportOfEmptyTracerIsValid)
+{
+    Tracer t(16);
+    std::ostringstream os;
+    exportChromeTrace(os, t);
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
