@@ -95,6 +95,14 @@ CacheArray::evict(Entry &entry)
     entry.lastUse = 0;
 }
 
+void
+CacheArray::reset()
+{
+    for (auto &e : entries)
+        evict(e);
+    useClock = 0;
+}
+
 unsigned
 CacheArray::occupiedCount() const
 {

@@ -101,6 +101,28 @@ class CacheArray
     /** Drop an entry entirely (after replacement actions). */
     void evict(Entry &entry);
 
+    /**
+     * Wipe every entry, as a crash-stop failure does: all tags,
+     * state fields (including present vectors and OWNER pointers)
+     * and data vanish at once. The LRU clock is also reset so a
+     * restarted node is indistinguishable from a fresh one.
+     */
+    void reset();
+
+    /**
+     * Mutable visit of every occupied entry (dead-node cleanup in
+     * the concurrent engine). The callback may evict the entry it
+     * is handed; the underlying storage is stable throughout.
+     */
+    template <typename Fn>
+    void
+    forEachOccupied(Fn &&fn)
+    {
+        for (auto &e : entries)
+            if (e.occupied)
+                fn(e);
+    }
+
     /** Number of occupied entries (for tests and stats). */
     unsigned occupiedCount() const;
 

@@ -135,6 +135,13 @@ runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
     proto::ConcurrentParams cp;
     cp.geometry = cache::Geometry{pt.blockWords, pt.sets, pt.assoc};
     cp.faultPlan = makeFaultPlan(pt);
+    if (pt.crashNode != invalidNode) {
+        cp.crashPlan = CrashPlan::singleNode(
+            pt.crashNode, pt.crashTick,
+            pt.crashRestartDelta
+                ? pt.crashTick + pt.crashRestartDelta : 0);
+        cp.crashSuspectDelay = pt.crashSuspectDelay;
+    }
     cp.timeoutBase = pt.timeoutBase;
     cp.maxRetries = pt.maxRetries;
     cp.jitterSeed = pt.faultSeed ^ 0x7e11;
@@ -169,6 +176,13 @@ runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
     out.retries = proto.counters().retries;
     out.faultDrops = proto.faultCounters().totalDropped();
     out.faultDups = proto.faultCounters().totalDuplicated();
+    out.crashes = proto.counters().crashes;
+    out.rejoins = proto.counters().rejoins;
+    out.suspects = proto.counters().suspects;
+    out.rebuilds = proto.counters().rebuilds;
+    out.crashMasked = proto.faultCounters().totalCrashMasked();
+    out.recoveryRestarts = proto.counters().recoveryRestarts;
+    out.refsLost = r.refsLost;
     if (pt.checkEndState && out.deadlocks == 0) {
         proto::SystemView v;
         v.numCaches = proto.numCaches();
@@ -182,6 +196,12 @@ runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
         };
         v.homeOf = [&proto](BlockId b) {
             return proto.homeOf(b);
+        };
+        v.isLive = [&proto](NodeId c) {
+            return proto.isLive(c);
+        };
+        v.isQuiescent = [&proto]() {
+            return proto.isQuiescent();
         };
         out.invariantErrors = proto::checkInvariants(v).size();
     }

@@ -85,6 +85,18 @@ struct SweepPoint
     bool checkEndState = false;
     /** @} */
 
+    /** @{ crash-stop schedule (concurrent engine only; off by
+     *  default). crashNode == invalidNode disables crashes. When a
+     *  restart delta is given the node rejoins cold at
+     *  crashTick + crashRestartDelta; 0 means it stays down. */
+    NodeId crashNode = invalidNode;
+    Tick crashTick = 0;
+    Tick crashRestartDelta = 0;
+    /** Ticks the homes wait after a crash before sweeping the dead
+     *  node's ownerships (must exceed the in-flight horizon). */
+    Tick crashSuspectDelay = 2000;
+    /** @} */
+
     /** @{ observability (concurrent engine only) */
     /** Enable the event tracer for this point (the engine also
      *  auto-enables it while a watchdog is armed). */
@@ -117,6 +129,15 @@ struct SweepResult
     std::uint64_t faultDups = 0;
     /** End-state invariant violations (checkEndState only). */
     std::uint64_t invariantErrors = 0;
+    /** @} */
+    /** @{ crash-stop recovery (zero without a crash schedule) */
+    std::uint64_t crashes = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t suspects = 0;
+    std::uint64_t rebuilds = 0;
+    std::uint64_t crashMasked = 0;
+    std::uint64_t recoveryRestarts = 0;
+    std::uint64_t refsLost = 0;
     /** @} */
     /**
      * Per-operation-class latency histograms (concurrent engine

@@ -11,7 +11,9 @@
 #ifndef MSCP_MEM_BLOCK_STORE_HH
 #define MSCP_MEM_BLOCK_STORE_HH
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -56,6 +58,22 @@ class BlockStore
 
     /** Number of valid entries (for stats/tests). */
     std::size_t size() const { return map.size(); }
+
+    /**
+     * All blocks registered to @p owner, sorted ascending so a
+     * dead-owner sweep visits them in a deterministic order
+     * regardless of hash-map iteration order.
+     */
+    std::vector<BlockId>
+    ownedBy(NodeId owner) const
+    {
+        std::vector<BlockId> blocks;
+        for (const auto &[blk, own] : map)
+            if (own == owner)
+                blocks.push_back(blk);
+        std::sort(blocks.begin(), blocks.end());
+        return blocks;
+    }
 
   private:
     std::unordered_map<BlockId, NodeId> map;

@@ -65,9 +65,13 @@ TimedNetwork::scheduleDelivery(const DeliveryFn &on_delivery,
         const auto cls =
             static_cast<std::uint8_t>(faults->messageClass());
         if (d.drop) {
+            // The dead-node sink: a crash-masked delivery is not a
+            // message fault, it is the destination cache being gone.
+            // Trace it apart so recovery analysis can tell them.
             if (tracer) {
-                tracer->record(TraceEvent::FaultDrop, eq.curTick(),
-                               dst, 0, cls, 0, when);
+                tracer->record(d.crashMasked ? TraceEvent::CrashMask
+                                             : TraceEvent::FaultDrop,
+                               eq.curTick(), dst, 0, cls, 0, when);
             }
             return;
         }

@@ -93,6 +93,13 @@ class TimedNetwork
      * methods need no changes. Detached (or attached with a
      * disabled plan) the delivery path is byte-identical to a
      * build without injection. Pass nullptr to detach.
+     *
+     * The injector is also the dead-node delivery sink: under a
+     * CrashPlan, deliveries whose destination cache is dead at
+     * their arrival tick are sunk here (traced as CrashMask, not
+     * FaultDrop) — a crash-stop node neither receives nor ACKs.
+     * Messages tagged to_memory bypass the sink, since the
+     * co-located memory module survives its cache's crash.
      */
     void
     setFaultInjector(FaultInjector *fi)

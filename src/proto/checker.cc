@@ -45,12 +45,43 @@ checkInvariants(const SystemView &proto)
     std::vector<std::string> errs;
     auto fail = [&](const std::string &s) { errs.push_back(s); };
 
+    // The invariants describe quiescent states only: mid-transaction
+    // a block legitimately passes through configurations I1-I8
+    // forbid. Report that as its own distinguishable condition
+    // rather than a pile of spurious violations.
+    if (proto.isQuiescent && !proto.isQuiescent()) {
+        fail("NQ: system is not quiescent; invariants are only "
+             "defined with no transactions in flight");
+        return errs;
+    }
+
+    auto live = [&](NodeId c) {
+        return !proto.isLive || proto.isLive(c);
+    };
+
     unsigned n = proto.numCaches;
     std::map<BlockId, BlockView> blocks;
 
     for (unsigned c = 0; c < n; ++c) {
+        if (!live(c)) {
+            // A crashed cache has no state by definition.
+            unsigned occ = proto.cacheArray(c).occupiedCount();
+            if (occ) {
+                fail(csprintf("I8: dead cache %u still holds %u "
+                              "entries", c, occ));
+            }
+            continue;
+        }
         for (const cache::Entry *e :
                  proto.cacheArray(c).occupiedEntries()) {
+            if (e->field.state == cache::State::Invalid &&
+                e->field.owner != invalidNode &&
+                !live(e->field.owner)) {
+                fail(csprintf("I8: cache %u pointer for block %llu "
+                              "names dead owner %u", c,
+                              (unsigned long long)e->block,
+                              e->field.owner));
+            }
             BlockView &bv = blocks[e->block];
             bv.holders.emplace_back(c, e);
             if (cache::isOwned(e->field.state)) {
@@ -159,6 +190,28 @@ checkInvariants(const SystemView &proto)
                 fail(csprintf("I6: block %llu unmodified owner copy "
                               "differs from memory",
                               (unsigned long long)blk));
+            }
+        }
+    }
+
+    // I8: no block store may name a dead owner. (Blocks whose dead
+    // owner still has live holders were already flagged above; this
+    // also catches fully orphaned registrations with no cached copy
+    // left anywhere.)
+    if (proto.isLive) {
+        unsigned nm = proto.numModules ? proto.numModules : n;
+        for (unsigned c = 0; c < n; ++c) {
+            if (live(c))
+                continue;
+            for (unsigned m = 0; m < nm; ++m) {
+                for (BlockId blk :
+                         proto.memoryModule(m).blockStore()
+                             .ownedBy(c)) {
+                    fail(csprintf("I8: block store of module %u "
+                                  "names dead owner %u for block "
+                                  "%llu", m, c,
+                                  (unsigned long long)blk));
+                }
             }
         }
     }

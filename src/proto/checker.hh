@@ -19,7 +19,17 @@
  *      the block anywhere);
  *  I6  an unmodified owner copy equals the memory copy;
  *  I7  copies without an owner anywhere do not exist (no orphan
- *      UnOwned/Invalid entries).
+ *      UnOwned/Invalid entries);
+ *  I8  no live state references a dead node: a crashed cache holds
+ *      no entries, no block store names a dead owner, and no live
+ *      Invalid entry's OWNER field points at a dead node.
+ *
+ * Under a crash plan I1-I7 quantify over *live* caches only (a
+ * dead cache has no protocol state by definition); I8 covers the
+ * dead ones. The invariants are only defined at quiescence: when
+ * the view provides an isQuiescent hook and it reports in-flight
+ * work, the checker returns a single "NQ" pseudo-violation instead
+ * of misreporting transient states as protocol bugs.
  */
 
 #ifndef MSCP_PROTO_CHECKER_HH
@@ -41,9 +51,15 @@ namespace mscp::proto
 struct SystemView
 {
     unsigned numCaches = 0;
+    /** Memory modules to scan for I8 (0 means numCaches). */
+    unsigned numModules = 0;
     std::function<const cache::CacheArray &(NodeId)> cacheArray;
     std::function<const mem::MemoryModule &(unsigned)> memoryModule;
     std::function<NodeId(BlockId)> homeOf;
+    /** Liveness of a cache; null means every cache is live. */
+    std::function<bool(NodeId)> isLive;
+    /** Whether the system is quiescent; null means it is. */
+    std::function<bool()> isQuiescent;
 };
 
 /**

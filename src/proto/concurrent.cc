@@ -14,7 +14,7 @@ ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
                                        ConcurrentParams p)
     : params(p), net(network),
       timedNet(network, eq, p.linkWidthBits, p.hopLatency),
-      injector(p.faultPlan), retryRng(p.jitterSeed),
+      injector(p.faultPlan, p.crashPlan), retryRng(p.jitterSeed),
       _tracer(p.traceCapacity)
 {
     params.geometry.check();
@@ -43,6 +43,7 @@ ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
         homes.emplace_back(static_cast<NodeId>(i),
                            params.geometry.blockWords);
     }
+    deadNodes = DynamicBitset(n);
 }
 
 ConcurrentProtocol::~ConcurrentProtocol() = default;
@@ -102,6 +103,12 @@ ConcurrentProtocol::classOf(MsgType t)
       case MsgType::PresentClearAck:
       case MsgType::NackNotOwner:
         return FaultClass::Ack;
+      case MsgType::SuspectOwner:
+      case MsgType::RecoveryPurge:
+      case MsgType::RecoveryAck:
+      case MsgType::RecoveryNack:
+      case MsgType::DurableWrite:
+        return FaultClass::Recovery;
       default:
         return FaultClass::Control;
     }
@@ -146,8 +153,11 @@ ConcurrentProtocol::payloadBits(const Msg &m) const
       case MsgType::OwnerAnnounce:
         return params.sizes.ownerIdPayload(n);
       case MsgType::EvictDone:
+      case MsgType::RecoveryAck:
         return m.data.empty()
             ? 0 : params.sizes.blockPayload(bw);
+      case MsgType::DurableWrite:
+        return params.sizes.wordBits;
       default:
         return 0;
     }
@@ -222,7 +232,7 @@ ConcurrentProtocol::send(Msg m)
     }
     NodeId src = m.src;
     NodeId dst = m.dst;
-    injector.setMessageClass(classOf(m.type));
+    injector.setMessageClass(classOf(m.type), m.toMemory);
     std::uint32_t slot = allocSlot(std::move(m));
     timedNet.sendUnicast(src, dst, total,
                          [this, slot](NodeId d, Tick) {
@@ -299,6 +309,16 @@ ConcurrentProtocol::deliver(const Msg &m)
           static_cast<std::uint8_t>(m.type), m.seq, m.blk);
     if (_aborted)
         return; // watchdog fired: freeze state, let the queue drain
+    if (!m.toMemory && deadNodes.test(m.dst)) {
+        // Local-path dead-node sink (network deliveries are sunk by
+        // the injector before they are scheduled): a crashed cache
+        // neither receives nor acknowledges. Memory-bound messages
+        // pass - the co-located module survives its cache.
+        injector.recordCrashMasked(classOf(m.type));
+        trace(TraceEvent::CrashMask, m.dst, m.src,
+              static_cast<std::uint8_t>(m.type), m.seq, m.blk);
+        return;
+    }
     if (m.toMemory)
         handleMemMsg(m);
     else
@@ -313,7 +333,8 @@ void
 ConcurrentProtocol::issueNext(NodeId cpu)
 {
     CpuState &cs = cpus[cpu];
-    if (_aborted || cs.active || cs.queue.empty())
+    if (_aborted || cs.active || cs.queue.empty() ||
+        deadNodes.test(cpu))
         return;
     cs.ref = cs.queue.front();
     cs.queue.pop_front();
@@ -346,6 +367,11 @@ void
 ConcurrentProtocol::completeRef(NodeId cpu)
 {
     CpuState &cs = cpus[cpu];
+    if (crashEnabled() && !cs.active) {
+        // The cpu crashed between scheduling this completion and
+        // now; the reference was already accounted as lost.
+        return;
+    }
     panic_if(!cs.active, "completing an idle cpu");
     Tick latency = eq.curTick() - cs.issueTick;
     if (latSink)
@@ -361,6 +387,7 @@ ConcurrentProtocol::completeRef(NodeId cpu)
         ++readsDone;
     }
     cs.pinnedTx.erase(params.geometry.blockOf(cs.ref.addr));
+    cs.purged.erase(params.geometry.blockOf(cs.ref.addr));
     cs.active = false;
     cs.phase = Phase::Idle;
     disarmTimeout(cpu);
@@ -380,6 +407,8 @@ ConcurrentProtocol::startAccess(NodeId cpu)
     if (_aborted)
         return; // stop the defer/retry loops so the queue drains
     CpuState &cs = cpus[cpu];
+    if (!cs.active)
+        return; // a crash cut the transaction out from under us
     BlockId blk = params.geometry.blockOf(cs.ref.addr);
     unsigned off = params.geometry.offsetOf(cs.ref.addr);
 
@@ -474,6 +503,27 @@ ConcurrentProtocol::performOwnedWrite(NodeId cpu)
 
     e->data[off] = cs.ref.value;
     e->field.modified = true;
+
+    if (crashEnabled()) {
+        // Write-through under a crash plan: a committed write must
+        // survive the writer's own crash, because the memory copy
+        // is the root a reconstruction rebuilds from. The send-tick
+        // stamp keeps a delayed older word from clobbering a newer
+        // one at the home (ownership hand-offs order the stamps
+        // causally).
+        ++ctrs.durableWrites;
+        Msg dw;
+        dw.type = MsgType::DurableWrite;
+        dw.src = cpu;
+        dw.dst = homeOf(blk);
+        dw.toMemory = true;
+        dw.blk = blk;
+        dw.offset = off;
+        dw.value = cs.ref.value;
+        dw.requester = cpu;
+        dw.seq = eq.curTick();
+        send(dw);
+    }
 
     if (e->field.state == State::OwnedNonExclDW) {
         const auto &dests = othersPresent(*e, cpu);
@@ -663,6 +713,14 @@ ConcurrentProtocol::sendNextOffer(NodeId cpu)
     Entry *ve = findEntry(cpu, cs.victimBlk);
     panic_if(!ve, "offer for a vanished victim");
 
+    if (crashEnabled()) {
+        // Never offer ownership to a dead node: the offer would
+        // sink and the hand-off would spin on timeouts.
+        while (cs.candIdx < cs.candidates.size() &&
+               deadNodes.test(cs.candidates[cs.candIdx]))
+            ++cs.candIdx;
+    }
+
     if (cs.candIdx >= cs.candidates.size()) {
         // Everyone declined: invalidate the remaining copies, then
         // write back and clear the block store (terminal rule).
@@ -713,6 +771,11 @@ ConcurrentProtocol::finishEviction(NodeId cpu, bool clear_owner,
         m.data = ve->data;
         ++ctrs.writeBacks;
     }
+    if (crashEnabled()) {
+        // Stamp the write-back so it cannot clobber a fresher
+        // durable word at the home (see applyDurableWord).
+        m.seq = eq.curTick();
+    }
     send(m);
 
     cs.array.evict(*ve);
@@ -735,6 +798,15 @@ ConcurrentProtocol::serveForward(const Msg &m)
     CpuState &cs = cpus[me];
     NodeId r = m.requester;
     Entry *e = findEntry(me, m.blk);
+
+    if (crashEnabled() && deadNodes.test(r)) {
+        // The requester died while its forward was in flight.
+        // Serving would re-register its present bit (or worse,
+        // transfer ownership into the void); sink the forward and
+        // let the home's dead-releaser sweep reclaim any busy
+        // period the request holds.
+        return;
+    }
 
     if (r == me) {
         // Either the requester became owner while its request was
@@ -937,6 +1009,8 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
 
       case MsgType::LoadReq: {
         // Direct pointer-bypass read.
+        if (crashEnabled() && deadNodes.test(m.requester))
+            return; // requester died with its request in flight
         if (e && cache::isOwned(e->field.state)) {
             Mode mode = cache::modeOf(e->field.state);
             e->field.present.set(m.requester);
@@ -1008,6 +1082,13 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             dropStaleReply(m);
             return;
         }
+        if (crashEnabled() && cs.purged.contains(m.blk)) {
+            // Served before the reconstruction fence: the value and
+            // the owner hint predate the crash. Re-run the access
+            // against the rebuilt directory.
+            restartPurgedTx(me, m);
+            return;
+        }
         disarmTimeout(me);
         // The value was checked at its sampling point (the owner).
         if (cs.phase == Phase::WaitHome) {
@@ -1054,6 +1135,20 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
              cs.phase == Phase::WaitPointer ||
              cs.phase == Phase::WaitOwnXfer) &&
             (!cs.ref.isWrite || cache::isOwned(m.field.state));
+        if (mine && crashEnabled() && cs.purged.contains(m.blk)) {
+            if (cache::isOwned(m.field.state)) {
+                // An owning grant comes straight from memory, and a
+                // fenced home serves nothing: this is the rebuilt
+                // block, not pre-crash state. Accept it and drop
+                // the restart marker.
+                cs.purged.erase(m.blk);
+            } else {
+                // A non-owning copy could have been served before
+                // the fence; restart against the rebuilt directory.
+                restartPurgedTx(me, m);
+                return;
+            }
+        }
         if (!mine || !e) {
             dropStaleReply(m);
             return;
@@ -1124,6 +1219,8 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             }
             return;
         }
+        if (mine && crashEnabled())
+            cs.purged.erase(m.blk);
         panic_if(!e, "state transfer without an entry");
         panic_if(m.type == MsgType::StateXfer &&
                  e->field.state != State::UnOwned,
@@ -1133,6 +1230,13 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             disarmTimeout(me);
         e->field = m.field;
         e->field.owner = invalidNode;
+        if (crashEnabled()) {
+            // A transfer carries the old owner's present vector;
+            // never inherit a registration for a crashed cache.
+            for (std::size_t i = deadNodes.findFirst();
+                 i < deadNodes.size(); i = deadNodes.findNext(i))
+                e->field.present.reset(i);
+        }
         panic_if(!e->field.present.test(me),
                  "transferred present vector misses the new owner");
         if (m.type == MsgType::StateCopyXfer)
@@ -1219,7 +1323,10 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
       }
 
       case MsgType::OwnerAnnounce: {
-        if (e && e->field.state == State::Invalid)
+        // Never resurrect a pointer to a dead owner: the announce
+        // was in flight when its subject crashed.
+        if (e && e->field.state == State::Invalid &&
+            !deadNodes.test(static_cast<NodeId>(m.value)))
             e->field.owner = static_cast<NodeId>(m.value);
         return;
       }
@@ -1255,6 +1362,11 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
       }
 
       case MsgType::OfferOwner: {
+        if (crashEnabled() && deadNodes.test(m.src)) {
+            // A dead evictor's offer: accepting would pin the
+            // block for a transfer that can never come.
+            return;
+        }
         bool acceptable = e && !cs.isPinned(m.blk) &&
             (e->field.state == State::UnOwned ||
              (e->field.state == State::Invalid &&
@@ -1343,6 +1455,99 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
         return;
       }
 
+      case MsgType::RecoveryPurge: {
+        // Directory reconstruction probe (m.src = the recovering
+        // home): drop any copy or stale OWNER pointer of the block
+        // and acknowledge; a surviving owner ships its copy back,
+        // since that copy - not memory - is authoritative when the
+        // crashed node wedged the block mid-transfer.
+        ++ctrs.purges;
+        trace(TraceEvent::Purge, me, m.src, 0, m.blk, 0);
+        Msg ack;
+        ack.type = MsgType::RecoveryAck;
+        ack.src = me;
+        ack.dst = m.src;
+        ack.toMemory = true;
+        ack.blk = m.blk;
+        ack.requester = me;
+        if (e) {
+            if (cache::isOwned(e->field.state)) {
+                ack.flag = e->field.modified;
+                ack.data = e->data;
+            }
+            cs.array.evict(*e);
+        }
+        cs.pinnedOffer.erase(m.blk);
+        cs.clearPending.erase(m.blk);
+        if (cs.evicting && cs.victimBlk == m.blk) {
+            // The victim vanished with the reconstruction: nothing
+            // left to hand over. Abandon the eviction and re-run
+            // the access that triggered it.
+            cs.pendingAcks = 0;
+            cs.ackFrom.clear();
+            disarmTimeout(me);
+            endEviction(me);
+            cs.evicting = false;
+            cs.phase = Phase::Idle;
+            cs.attempts = 0;
+            send(ack);
+            startAccess(me);
+            return;
+        }
+        if (cs.active && cs.phase != Phase::Commit &&
+            params.geometry.blockOf(cs.ref.addr) == m.blk) {
+            // A serve issued before the fence may still be in
+            // flight; mark the transaction so such a reply
+            // restarts it instead of installing pre-crash state,
+            // and keep a placeholder entry for it to land in.
+            cs.purged.insert(m.blk);
+            if (!findEntry(me, m.blk)) {
+                Entry *fresh = cs.array.pickVictim(m.blk);
+                if (!fresh->occupied)
+                    cs.array.install(*fresh, m.blk);
+            }
+        }
+        send(ack);
+        return;
+      }
+
+      case MsgType::RecoveryNack: {
+        // The home rebuilt the block our stalled attempt was
+        // anchored to: restart with a fresh sequence number. Safe
+        // because the reconstruction fence discarded whatever
+        // serve the old attempt had in flight.
+        if (!cs.active) {
+            ++ctrs.staleReplies;
+            return;
+        }
+        if (cs.evicting && cs.phase == Phase::WaitEvictAck &&
+            cs.victimBlk == m.blk) {
+            // Re-issue the eviction handshake from scratch.
+            cs.attempts = 0;
+            Msg er;
+            er.type = MsgType::EvictReq;
+            er.src = me;
+            er.dst = homeOf(m.blk);
+            er.toMemory = true;
+            er.blk = m.blk;
+            er.requester = me;
+            er.seq = cs.txSeq = ++cs.seqGen;
+            cs.lastReq = er;
+            send(er);
+            armTimeout(me);
+            return;
+        }
+        if (params.geometry.blockOf(cs.ref.addr) == m.blk &&
+            (cs.phase == Phase::WaitHome ||
+             cs.phase == Phase::WaitPointer ||
+             cs.phase == Phase::WaitOwnXfer)) {
+            restartPurgedTx(me, m);
+            return;
+        }
+        ++ctrs.staleReplies;
+        return;
+      }
+
       case MsgType::EvictAck: {
         if (cs.phase == Phase::WaitEvictAck && cs.evicting &&
             m.blk == cs.victimBlk && m.seq == cs.txSeq) {
@@ -1388,6 +1593,14 @@ void
 ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
 {
     BlockId blk = m.blk;
+    if (crashEnabled() && deadNodes.test(m.requester)) {
+        // The requester died with this request in flight (or
+        // queued). Accepting it would mint a busy period nobody
+        // can ever release; serving it would be answered into the
+        // void. Drop it - a restarted node never reuses sequence
+        // numbers, so nothing downstream expects this request.
+        return;
+    }
     if (h.busy.contains(blk)) {
         std::deque<Msg> &q = h.waiting[blk];
         for (Msg &w : q) {
@@ -1417,6 +1630,10 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
         h.busy.insert(blk);
         std::uint64_t token = ++h.busyTokenGen;
         h.busyToken[blk] = token;
+        if (crashEnabled()) {
+            h.busyReleaser[blk] = m.src;
+            h.busySince[blk] = eq.curTick();
+        }
         Msg ack;
         ack.type = MsgType::EvictAck;
         ack.src = h.mem.port();
@@ -1430,6 +1647,20 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
 
     NodeId owner = h.mem.blockStore().owner(blk);
     NodeId r = m.requester;
+
+    if (crashEnabled() && owner != invalidNode &&
+        deadNodes.test(owner)) {
+        // The registered owner is dead: park the request and
+        // reconstruct the block instead of forwarding into the
+        // void. (The stabilization sweep would get here anyway;
+        // this reacts at first touch.)
+        h.waiting[blk].push_back(m);
+        ++ctrs.homeQueued;
+        trace(TraceEvent::HomeQueue, m.dst, m.requester,
+              static_cast<std::uint8_t>(m.type), m.seq, blk);
+        startRecovery(h, blk, owner);
+        return;
+    }
 
     if (owner == invalidNode) {
         // No cached copy anywhere: serve from memory; the
@@ -1445,8 +1676,12 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
         reply.dst = r;
         reply.blk = blk;
         reply.data = h.mem.readBlock(blk);
-        reply.field.state = cache::ownedState(params.defaultMode,
-                                              true);
+        // GR is the safe post-recovery mode: its owner never has
+        // to trust pre-crash remote copies (DESIGN.md 5f).
+        reply.field.state = cache::ownedState(
+            (crashEnabled() && h.recoveredGR.contains(blk))
+                ? Mode::GlobalRead : params.defaultMode,
+            true);
         reply.flag = false; // no busy held
         reply.seq = m.seq;
         send(reply);
@@ -1470,6 +1705,10 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
         break;
       default:
         panic("unexpected home request %s", msgTypeName(m.type));
+    }
+    if (crashEnabled()) {
+        h.busyReleaser[blk] = r;
+        h.busySince[blk] = eq.curTick();
     }
     fwd.src = h.mem.port();
     fwd.dst = owner;
@@ -1537,6 +1776,10 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
             return;
         }
         h.busyToken.erase(blk);
+        if (crashEnabled()) {
+            h.busyReleaser.erase(blk);
+            h.busySince.erase(blk);
+        }
         if (m.flag)
             h.mem.blockStore().setOwner(blk, m.requester);
         h.busy.erase(blk);
@@ -1554,12 +1797,125 @@ ConcurrentProtocol::handleMemMsg(const Msg &m)
             return;
         }
         h.busyToken.erase(blk);
-        if (!m.data.empty())
-            h.mem.writeBlock(blk, m.data);
+        if (!m.data.empty()) {
+            if (crashEnabled()) {
+                // Respect per-word durable stamps: a write-back
+                // must not clobber a fresher durable word that
+                // raced past it.
+                for (unsigned off = 0;
+                     off < static_cast<unsigned>(m.data.size());
+                     ++off)
+                    applyDurableWord(h, blk, off, m.data[off],
+                                     m.seq);
+            } else {
+                h.mem.writeBlock(blk, m.data);
+            }
+        }
+        if (crashEnabled()) {
+            h.busyReleaser.erase(blk);
+            h.busySince.erase(blk);
+        }
         if (m.flag)
             h.mem.blockStore().clear(blk);
         h.busy.erase(blk);
         drainHomeQueue(h, blk);
+        return;
+      }
+
+      case MsgType::SuspectOwner: {
+        if (!crashEnabled())
+            return;
+        if (h.recovering.contains(blk)) {
+            // Already reconstructing: remember the suspecter so it
+            // gets its restart hint when the rebuild finishes.
+            RecoveryCtx &ctx = h.recoveryCtx[blk];
+            if (std::find(ctx.suspecters.begin(),
+                          ctx.suspecters.end(),
+                          m.requester) == ctx.suspecters.end())
+                ctx.suspecters.push_back(m.requester);
+            return;
+        }
+        NodeId owner = h.mem.blockStore().owner(blk);
+        auto rel = h.busyReleaser.find(blk);
+        bool owner_dead =
+            owner != invalidNode && deadNodes.test(owner);
+        bool releaser_dead = h.busy.contains(blk) &&
+            rel != h.busyReleaser.end() &&
+            deadNodes.test(rel->second);
+        if (!owner_dead && !releaser_dead) {
+            if (!h.busy.contains(blk)) {
+                // Orphaned waiter: its request was consumed (so
+                // retries are duplicate-suppressed) but whatever
+                // served it died with the crash, and with no busy
+                // period there is no forward still in flight that a
+                // restart could orphan. Hand it a direct restart
+                // hint.
+                ++ctrs.recoveryNacks;
+                Msg nack;
+                nack.type = MsgType::RecoveryNack;
+                nack.src = h.mem.port();
+                nack.dst = m.requester;
+                nack.blk = blk;
+                nack.requester = m.requester;
+                send(nack);
+                return;
+            }
+            // Busy with live anchors. A healthy busy period lasts
+            // a few round trips; one that has outlived the
+            // suspecter's whole retry ladder is wedged even though
+            // nobody died on paper - e.g. an eviction hand-off
+            // whose ownership transfer was destined for a node
+            // that crashed with it in flight (neither the evictor
+            // nor the block store ever names the acceptor).
+            // Otherwise the ordinary retry/stale machinery wins:
+            // restarting an attempt whose serve may still be in
+            // flight would orphan what that serve carries.
+            auto since = h.busySince.find(blk);
+            bool wedged = since != h.busySince.end() &&
+                eq.curTick() - since->second >
+                    params.crashSuspectDelay;
+            if (!wedged) {
+                ++ctrs.staleReplies;
+                return;
+            }
+        }
+        ++ctrs.suspects;
+        startRecovery(h, blk,
+                      owner_dead ? owner
+                                 : rel != h.busyReleaser.end()
+                                       ? rel->second : owner);
+        RecoveryCtx &ctx = h.recoveryCtx[blk];
+        if (std::find(ctx.suspecters.begin(), ctx.suspecters.end(),
+                      m.requester) == ctx.suspecters.end())
+            ctx.suspecters.push_back(m.requester);
+        return;
+      }
+
+      case MsgType::RecoveryAck: {
+        auto it = h.recoveryCtx.find(blk);
+        if (it == h.recoveryCtx.end() ||
+            !it->second.pending.contains(m.requester))
+            return; // duplicate or multicast-overshoot echo
+        RecoveryCtx &ctx = it->second;
+        ctx.pending.erase(m.requester);
+        ++ctx.acks;
+        if (!m.data.empty()) {
+            // At most one surviving cache can have held the block
+            // owned; its copy is the authoritative one.
+            ctx.data = m.data;
+            ctx.haveData = true;
+        }
+        if (ctx.pending.empty())
+            finishRecovery(h, blk);
+        return;
+      }
+
+      case MsgType::DurableWrite: {
+        // Crash-mode write-through: commit the word at the home so
+        // an owner crash cannot lose a committed write. The stamp
+        // (send tick) keeps a delayed older word from overwriting
+        // a newer one; ownership hand-offs order stamps causally.
+        applyDurableWord(h, blk, m.offset, m.value, m.seq);
         return;
       }
 
@@ -1654,6 +2010,41 @@ ConcurrentProtocol::onTimeout(NodeId cpu, std::uint64_t seq)
     trace(TraceEvent::Timeout, cpu, cpu,
           static_cast<std::uint8_t>(cs.phase), cs.opId, cs.attempts);
     if (cs.attempts >= params.maxRetries) {
+        if (crashEnabled() && cs.phase == Phase::WaitPointer) {
+            // The pointed-at owner is unreachable (likely dead):
+            // fall back to the home exactly like a pointer NACK
+            // would. A late Datum of the abandoned attempt is
+            // absorbed by the stale-reply machinery.
+            cs.pointerRetries = 2;
+            cs.pinnedTx.erase(params.geometry.blockOf(cs.ref.addr));
+            cs.phase = Phase::Idle;
+            cs.attempts = 0;
+            startAccess(cpu);
+            return;
+        }
+        if (crashEnabled() &&
+            (cs.phase == Phase::WaitHome ||
+             cs.phase == Phase::WaitOwnXfer ||
+             cs.phase == Phase::WaitEvictAck)) {
+            // Retries exhausted on a request the home has seen:
+            // raise a suspicion so the home can check whether the
+            // block's anchor (owner or busy releaser) died, and
+            // keep retrying while it investigates.
+            BlockId sblk = cs.phase == Phase::WaitEvictAck
+                ? cs.victimBlk
+                : params.geometry.blockOf(cs.ref.addr);
+            Msg sus;
+            sus.type = MsgType::SuspectOwner;
+            sus.src = cpu;
+            sus.dst = homeOf(sblk);
+            sus.toMemory = true;
+            sus.blk = sblk;
+            sus.requester = cpu;
+            send(sus);
+            cs.attempts = 0;
+            armTimeout(cpu);
+            return;
+        }
         ++ctrs.retriesExhausted;
         return; // wedged for good: the watchdog reports it
     }
@@ -1763,6 +2154,21 @@ ConcurrentProtocol::buildDeadlockReport(
 {
     Tick now = eq.curTick();
     std::string out;
+    if (crashEnabled()) {
+        out += "  crashed nodes:";
+        bool any = false;
+        for (std::size_t n = deadNodes.findFirst();
+             n < deadNodes.size(); n = deadNodes.findNext(n)) {
+            out += csprintf(" %zu", n);
+            any = true;
+        }
+        if (!any)
+            out += " none";
+        std::size_t rec = 0;
+        for (const HomeState &h : homes)
+            rec += h.recovering.size();
+        out += csprintf(" (reconstructions in flight: %zu)\n", rec);
+    }
     for (NodeId c : dead) {
         const CpuState &cs = cpus[c];
         BlockId blk = params.geometry.blockOf(cs.ref.addr);
@@ -1868,6 +2274,316 @@ ConcurrentProtocol::buildDeadlockReport(
 }
 
 // ---------------------------------------------------------------
+// Crash-stop failures and directory reconstruction
+// ---------------------------------------------------------------
+
+void
+ConcurrentProtocol::crashNode(NodeId n, Tick restart_tick)
+{
+    if (_aborted || deadNodes.test(n))
+        return;
+    ++ctrs.crashes;
+    trace(TraceEvent::Crash, n, n, 0, 0, restart_tick);
+    deadNodes.set(n);
+
+    // The failed controller loses everything instantly: tags,
+    // state fields, data, and whatever transaction it was running.
+    CpuState &cs = cpus[n];
+    disarmTimeout(n);
+    cs.array.reset();
+    std::uint64_t lost = cs.active ? 1 : 0;
+    if (restart_tick == 0) {
+        // Never coming back: its queued references are lost too.
+        lost += cs.queue.size();
+        cs.queue.clear();
+    }
+    cs.active = false;
+    cs.phase = Phase::Idle;
+    cs.attempts = 0;
+    cs.pointerRetries = 0;
+    cs.pendingAcks = 0;
+    cs.ackFrom.clear();
+    cs.evicting = false;
+    cs.candidates.clear();
+    cs.candIdx = 0;
+    cs.pinnedTx.clear();
+    cs.pinnedOffer.clear();
+    cs.clearPending.clear();
+    cs.purged.clear();
+    // seqGen/opGen deliberately survive: the homes' duplicate
+    // filters are monotone, so a cold rejoin must not reuse
+    // sequence numbers.
+    ctrs.refsLost += lost;
+    refsOutstanding -= lost;
+    if (refsOutstanding == 0 && watchdogArmed) {
+        eq.deschedule(watchdogEv);
+        watchdogArmed = false;
+    }
+
+    // Perfect-failure-detector half of the model (DESIGN.md 5f):
+    // survivors learn of the death at once and scrub their local
+    // references to it - present bits, dangling OWNER pointers,
+    // and ack/hand-off waits that would otherwise spin on a node
+    // that can no longer answer.
+    for (NodeId c = 0; c < cpus.size(); ++c) {
+        if (c == n || deadNodes.test(c))
+            continue;
+        CpuState &lc = cpus[c];
+        lc.array.forEachOccupied([&](Entry &e) {
+            if (cache::isOwned(e.field.state) &&
+                e.field.present.test(n)) {
+                e.field.present.reset(n);
+                maybeExclusive(e, c);
+            } else if (e.field.state == State::Invalid &&
+                       e.field.owner == n) {
+                lc.array.evict(e);
+            }
+        });
+        if ((lc.phase == Phase::WaitDwAcks ||
+             lc.phase == Phase::WaitInvalAcks) &&
+            lc.ackFrom.test(n)) {
+            lc.ackFrom.reset(n);
+            if (--lc.pendingAcks == 0) {
+                if (lc.phase == Phase::WaitDwAcks) {
+                    completeRef(c);
+                } else {
+                    Entry *ve = findEntry(c, lc.victimBlk);
+                    finishEviction(c, true,
+                                   ve && ve->field.modified);
+                }
+            }
+        } else if (lc.phase == Phase::WaitOffer && lc.evicting &&
+                   lc.candIdx < lc.candidates.size() &&
+                   lc.candidates[lc.candIdx] == n) {
+            ++ctrs.handoffNacks;
+            ++lc.candIdx;
+            sendNextOffer(c);
+        }
+    }
+
+    // An in-flight reconstruction must not wait for the newly dead
+    // node's purge answer.
+    for (HomeState &h : homes) {
+        std::vector<BlockId> done;
+        for (auto &[blk, ctx] : h.recoveryCtx) {
+            if (ctx.pending.contains(n)) {
+                ctx.pending.erase(n);
+                if (ctx.pending.empty())
+                    done.push_back(blk);
+            }
+        }
+        for (BlockId blk : done)
+            finishRecovery(h, blk);
+    }
+
+    // The homes sweep the dead node's ownerships one stabilization
+    // window later - late enough that everything it sent before
+    // dying has drained, so reconstruction sees a settled picture.
+    eq.scheduleIn([this, n] { homeSweepDead(n); },
+                  params.crashSuspectDelay);
+}
+
+void
+ConcurrentProtocol::rejoinNode(NodeId n)
+{
+    if (_aborted || !deadNodes.test(n))
+        return;
+    ++ctrs.rejoins;
+    deadNodes.reset(n);
+    trace(TraceEvent::Rejoin, n, n, 0, 0, 0);
+    // The node comes back cold (all-Invalid cache) and simply
+    // resumes its reference stream; every block it owned is being
+    // (or has been) reconstructed by its home.
+    issueNext(n);
+}
+
+void
+ConcurrentProtocol::homeSweepDead(NodeId n)
+{
+    if (_aborted)
+        return;
+    // Runs even if the node already rejoined: it came back cold,
+    // so its pre-crash ownerships are orphaned either way.
+    for (HomeState &h : homes) {
+        for (BlockId blk : h.mem.blockStore().ownedBy(n))
+            startRecovery(h, blk, n);
+        std::vector<BlockId> stuck;
+        for (const auto &[blk, rel] : h.busyReleaser) {
+            if (rel == n)
+                stuck.push_back(blk);
+        }
+        for (BlockId blk : stuck)
+            startRecovery(h, blk, n);
+    }
+}
+
+void
+ConcurrentProtocol::startRecovery(HomeState &h, BlockId blk,
+                                  NodeId suspected)
+{
+    if (h.recovering.contains(blk))
+        return;
+    h.recovering.insert(blk);
+    NodeId home = h.mem.port();
+    trace(TraceEvent::Suspect, home, suspected, 0, blk, 0);
+
+    RecoveryCtx ctx;
+    // Fence: usurp the busy period with a fresh token so anything
+    // the wedged transaction still has in flight can no longer
+    // commit here, and park new requests behind the busy bit. A
+    // live former releaser is remembered - it is stalled on a
+    // serve that will never land and needs a restart hint.
+    auto rel = h.busyReleaser.find(blk);
+    if (rel != h.busyReleaser.end()) {
+        if (!deadNodes.test(rel->second))
+            ctx.suspecters.push_back(rel->second);
+        h.busyReleaser.erase(rel);
+    }
+    h.busy.insert(blk);
+    h.busyToken[blk] = ++h.busyTokenGen;
+    h.busySince[blk] = eq.curTick();
+
+    // Probe every live cache (including the home's own): each one
+    // drops its copy / stale pointer and acknowledges; a surviving
+    // owner ships its copy back.
+    std::vector<NodeId> dests;
+    for (NodeId c = 0; c < cpus.size(); ++c) {
+        if (deadNodes.test(c))
+            continue;
+        ctx.pending.insert(c);
+        if (c != home)
+            dests.push_back(c);
+    }
+    h.recoveryCtx[blk] = std::move(ctx);
+    sendMulticastMsg(MsgType::RecoveryPurge, home, dests, 0, blk,
+                     0, 0, home);
+    if (!deadNodes.test(home)) {
+        Msg self;
+        self.type = MsgType::RecoveryPurge;
+        self.src = home;
+        self.dst = home;
+        self.blk = blk;
+        self.requester = home;
+        send(self);
+    }
+}
+
+void
+ConcurrentProtocol::finishRecovery(HomeState &h, BlockId blk)
+{
+    auto it = h.recoveryCtx.find(blk);
+    if (it == h.recoveryCtx.end())
+        return;
+    RecoveryCtx ctx = std::move(it->second);
+    h.recoveryCtx.erase(it);
+
+    ++ctrs.rebuilds;
+    trace(TraceEvent::Rebuild, h.mem.port(), 0, 0, blk, ctx.acks);
+
+    if (ctx.haveData) {
+        // A surviving owner's copy wins over memory, subject to
+        // per-word durable stamps (a DurableWrite racing ahead of
+        // the purge may carry a fresher word).
+        for (unsigned off = 0;
+             off < static_cast<unsigned>(ctx.data.size()); ++off)
+            applyDurableWord(h, blk, off, ctx.data[off],
+                             eq.curTick());
+    }
+
+    // Rebuild the directory root: no cached copies anywhere, so
+    // the block store entry is simply cleared. The block re-enters
+    // circulation in GR mode - the safe degraded mode, since a GR
+    // owner never has to trust remote copies it did not create.
+    h.mem.blockStore().clear(blk);
+    h.recoveredGR.insert(blk);
+    h.recovering.erase(blk);
+
+    for (NodeId r : ctx.suspecters) {
+        if (deadNodes.test(r))
+            continue;
+        // A suspecter whose request queued behind the fence needs
+        // no restart hint: the drain below serves that request at
+        // its current sequence number. Nacking it too would race
+        // the restart against the serve - the serve would arrive
+        // stale and be dropped while the block store already names
+        // the suspecter as owner.
+        const std::deque<Msg> *q = h.waiting.find(blk);
+        bool queued = false;
+        if (q) {
+            for (const Msg &w : *q) {
+                if (w.requester == r) {
+                    queued = true;
+                    break;
+                }
+            }
+        }
+        if (queued)
+            continue;
+        ++ctrs.recoveryNacks;
+        Msg nack;
+        nack.type = MsgType::RecoveryNack;
+        nack.src = h.mem.port();
+        nack.dst = r;
+        nack.blk = blk;
+        nack.requester = r;
+        send(nack);
+    }
+
+    // Release the fence and serve whatever queued behind it.
+    h.busyToken.erase(blk);
+    h.busyReleaser.erase(blk);
+    h.busySince.erase(blk);
+    h.busy.erase(blk);
+    drainHomeQueue(h, blk);
+}
+
+void
+ConcurrentProtocol::restartPurgedTx(NodeId cpu, const Msg &m)
+{
+    CpuState &cs = cpus[cpu];
+    ++ctrs.recoveryRestarts;
+    if (m.flag) {
+        // The intercepted serve carried a busy period; hand its
+        // (stale) token back so the release is an explicit no-op
+        // at the home rather than a leak.
+        Msg ub;
+        ub.type = MsgType::Unblock;
+        ub.src = cpu;
+        ub.dst = homeOf(m.blk);
+        ub.toMemory = true;
+        ub.blk = m.blk;
+        ub.requester = cpu;
+        ub.tok = m.tok;
+        ub.flag = false;
+        send(ub);
+    }
+    cs.purged.erase(m.blk);
+    cs.attempts = 0;
+    cs.pointerRetries = 0;
+    cs.phase = Phase::Idle;
+    disarmTimeout(cpu);
+    startAccess(cpu);
+}
+
+void
+ConcurrentProtocol::applyDurableWord(HomeState &h, BlockId blk,
+                                     unsigned off,
+                                     std::uint64_t value,
+                                     Tick stamp)
+{
+    // Last-writer-wins by send tick. Within one owner the stamps
+    // are its local commit order; across an ownership transfer the
+    // new owner's first write is sent after the transfer arrived,
+    // hence after every stamp the old owner issued.
+    Addr a = params.geometry.baseOf(blk) + off;
+    Tick *s = h.durableStamp.find(a);
+    if (s && *s > stamp)
+        return;
+    h.durableStamp[a] = stamp;
+    h.mem.writeWord(blk, off, value);
+}
+
+// ---------------------------------------------------------------
 // Linearizability monitor
 // ---------------------------------------------------------------
 
@@ -1926,6 +2642,20 @@ ConcurrentProtocol::run(workload::ReferenceStream &stream)
     }
     refsOutstanding = total;
 
+    if (crashEnabled()) {
+        for (const auto &ev : params.crashPlan.events) {
+            if (ev.node >= cpus.size())
+                continue;
+            NodeId n = ev.node;
+            eq.schedule([this, n, restart = ev.restartTick] {
+                crashNode(n, restart);
+            }, ev.killTick);
+            if (ev.restartTick > ev.killTick)
+                eq.schedule([this, n] { rejoinNode(n); },
+                            ev.restartTick);
+        }
+    }
+
     Bits start_bits = net.linkStats().totalBits();
     for (NodeId c = 0; c < cpus.size(); ++c)
         issueNext(c);
@@ -1951,6 +2681,7 @@ ConcurrentProtocol::run(workload::ReferenceStream &stream)
     res.networkBits = net.linkStats().totalBits() - start_bits;
     res.valueErrors = _valueErrors;
     res.deadlocks = ctrs.watchdogDeadlocks;
+    res.refsLost = ctrs.refsLost;
     res.avgReadLatency = readsDone
         ? readLatSum / static_cast<double>(readsDone) : 0;
     res.avgWriteLatency = writesDone

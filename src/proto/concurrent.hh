@@ -38,6 +38,7 @@
 #define MSCP_PROTO_CONCURRENT_HH
 
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,17 @@ struct ConcurrentCounters
     std::uint64_t dupRequests = 0;    ///< home-side duplicates dropped
     std::uint64_t watchdogDeadlocks = 0; ///< transactions flagged dead
     /** @} */
+    /** @{ crash-stop recovery machinery (zero without a CrashPlan) */
+    std::uint64_t crashes = 0;        ///< cache controllers killed
+    std::uint64_t rejoins = 0;        ///< cold restarts completed
+    std::uint64_t suspects = 0;       ///< dead-anchor suspicions accepted
+    std::uint64_t purges = 0;         ///< recovery purges served
+    std::uint64_t rebuilds = 0;       ///< directory reconstructions
+    std::uint64_t recoveryNacks = 0;  ///< restart hints sent to cpus
+    std::uint64_t recoveryRestarts = 0; ///< transactions re-run clean
+    std::uint64_t durableWrites = 0;  ///< write-through words to homes
+    std::uint64_t refsLost = 0;       ///< references lost to crashes
+    /** @} */
 };
 
 /** Configuration. */
@@ -120,6 +132,22 @@ struct ConcurrentParams
      */
     Tick watchdogPeriod = 0;
     Tick watchdogAge = 50000;
+    /**
+     * Crash-stop fault schedule (empty = no node ever dies; the
+     * engine is then byte-identical to a build without crash
+     * support). Kill/restart decisions are a pure function of the
+     * plan, never of simulation state, so two runs with the same
+     * (plan, workload) crash identically.
+     */
+    CrashPlan crashPlan;
+    /**
+     * Failure-detector stabilization window: ticks after a kill
+     * before every home sweeps the dead node's anchored blocks into
+     * reconstruction. Must exceed the maximum in-flight message
+     * latency (see DESIGN.md 5f); requester-side timeouts can still
+     * raise a suspicion earlier through SuspectOwner.
+     */
+    Tick crashSuspectDelay = 2000;
     /** @} */
 
     /** @{ observability (pure observation: simulation results and
@@ -147,6 +175,8 @@ struct ConcurrentRunResult
     double avgWriteLatency = 0;
     /** Transactions the watchdog declared dead (0 = clean run). */
     std::uint64_t deadlocks = 0;
+    /** References discarded because their issuing node crashed. */
+    std::uint64_t refsLost = 0;
 };
 
 /** The event-driven engine. */
@@ -221,6 +251,23 @@ class ConcurrentProtocol
     homeOf(BlockId blk) const
     {
         return static_cast<NodeId>(blk % homes.size());
+    }
+    /** Whether @p c's cache controller is currently alive. */
+    bool isLive(NodeId c) const { return !deadNodes.test(c); }
+    /**
+     * Whether the system is quiescent: no references outstanding
+     * and no home busy periods (reconstruction fences included).
+     * The precondition of proto::checkInvariants.
+     */
+    bool
+    isQuiescent() const
+    {
+        if (refsOutstanding != 0)
+            return false;
+        for (const HomeState &h : homes)
+            if (!h.busy.empty())
+                return false;
+        return true;
     }
     /** @} */
 
@@ -347,12 +394,36 @@ class ConcurrentProtocol
         /** Blocks with an unacknowledged PresentClear in flight;
          *  reacquisition is deferred until the ack arrives. */
         FlatSet<BlockId> clearPending;
+        /**
+         * Blocks this cpu's in-flight transaction touches that a
+         * recovery purge invalidated mid-transaction. A reply
+         * served before the reconstruction fence must not install
+         * pre-crash state: marked transactions restart from
+         * scratch instead (see the reply handlers).
+         */
+        FlatSet<BlockId> purged;
 
         bool
         isPinned(BlockId b) const
         {
             return pinnedTx.contains(b) || pinnedOffer.contains(b);
         }
+    };
+
+    /** One in-progress directory reconstruction at a home. */
+    struct RecoveryCtx
+    {
+        /** Live caches whose RecoveryAck is still outstanding. */
+        FlatSet<NodeId> pending;
+        /** Requesters whose accepted attempt died with the old
+         *  owner; each gets a RecoveryNack (restart hint) once the
+         *  block is rebuilt. */
+        std::vector<NodeId> suspecters;
+        /** Surviving owner's copy (authoritative if present). */
+        std::vector<std::uint64_t> data;
+        bool haveData = false;
+        /** Acks folded in (diagnostics/trace). */
+        unsigned acks = 0;
     };
 
     /** Per-home-module state. */
@@ -373,6 +444,28 @@ class ConcurrentProtocol
          *  serving; only the matching Unblock/EvictDone releases. */
         FlatMap<BlockId, std::uint64_t> busyToken;
         std::uint64_t busyTokenGen = 0;
+        /** @} */
+        /** @{ crash recovery (populated only under a CrashPlan;
+         *  std::map keeps iteration deterministic for the
+         *  dead-node sweeps) */
+        /** Node expected to release each busy period; a dead
+         *  releaser wedges the block and triggers recovery. */
+        std::map<BlockId, NodeId> busyReleaser;
+        /** Tick each busy period was minted at. A period that
+         *  outlives every retry horizon is wedged even when its
+         *  anchors look alive (e.g. an ownership hand-off whose
+         *  transfer died with the acceptor) and is reconstructed. */
+        std::map<BlockId, Tick> busySince;
+        /** Blocks under an active reconstruction fence. */
+        FlatSet<BlockId> recovering;
+        /** Per-block reconstruction progress. */
+        std::map<BlockId, RecoveryCtx> recoveryCtx;
+        /** Blocks rebuilt after a crash: served in GR mode, the
+         *  safe post-recovery mode (DESIGN.md 5f). */
+        FlatSet<BlockId> recoveredGR;
+        /** Freshness stamp (send tick) of the last durable word
+         *  applied per address; defeats in-flight reordering. */
+        FlatMap<Addr, Tick> durableStamp;
         /** @} */
     };
 
@@ -464,6 +557,29 @@ class ConcurrentProtocol
     std::string buildDeadlockReport(const std::vector<NodeId> &dead);
     /** @} */
 
+    /** @{ crash-stop faults and directory reconstruction */
+    bool crashEnabled() const { return params.crashPlan.enabled(); }
+    bool isDead(NodeId n) const { return deadNodes.test(n); }
+    /** Kill a cache controller: wipe its state, stop its stream,
+     *  and let every survivor's failure detector observe it. */
+    void crashNode(NodeId n, Tick restart_tick);
+    /** Cold restart: the node rejoins all-Invalid, resuming its
+     *  reference stream where the crash cut it. */
+    void rejoinNode(NodeId n);
+    /** Stabilization sweep: reconstruct every block the dead node
+     *  still anchors (store ownership or a wedged busy period). */
+    void homeSweepDead(NodeId n);
+    void startRecovery(HomeState &h, BlockId blk, NodeId suspected);
+    void finishRecovery(HomeState &h, BlockId blk);
+    /** Restart a purge-marked transaction from scratch, releasing
+     *  the busy period the discarded serve @p m may have held. */
+    void restartPurgedTx(NodeId cpu, const Msg &m);
+    /** Apply a durable word at its home unless a fresher stamp
+     *  already landed for the same address. */
+    void applyDurableWord(HomeState &h, BlockId blk, unsigned off,
+                          std::uint64_t value, Tick stamp);
+    /** @} */
+
     /** @{ linearizability monitor */
     void monitorWritePending(Addr a, std::uint64_t v);
     void monitorWriteComplete(Addr a, std::uint64_t v);
@@ -506,6 +622,9 @@ class ConcurrentProtocol
 
     std::vector<CpuState> cpus;
     std::vector<HomeState> homes;
+
+    /** Caches currently crashed (sized to the node count). */
+    DynamicBitset deadNodes;
 
     /** In-flight message slab with an intrusive free list. */
     std::vector<MsgSlot> msgSlab;

@@ -38,6 +38,11 @@ msgTypeName(MsgType t)
       case MsgType::EvictAck: return "EvictAck";
       case MsgType::EvictDone: return "EvictDone";
       case MsgType::PresentClearAck: return "PresentClearAck";
+      case MsgType::SuspectOwner: return "SuspectOwner";
+      case MsgType::RecoveryPurge: return "RecoveryPurge";
+      case MsgType::RecoveryAck: return "RecoveryAck";
+      case MsgType::RecoveryNack: return "RecoveryNack";
+      case MsgType::DurableWrite: return "DurableWrite";
       case MsgType::NumTypes: break;
     }
     return "unknown";

@@ -55,6 +55,11 @@ enum class MsgType : std::uint8_t
     EvictAck,       ///< home granted the eviction
     EvictDone,      ///< eviction finished (may carry a write-back)
     PresentClearAck,///< present-flag clear confirmed to the leaver
+    SuspectOwner,   ///< requester tells home its owner stopped ACKing
+    RecoveryPurge,  ///< home probes/purges all live caches for a block
+    RecoveryAck,    ///< purge ACK, may carry a surviving owner's copy
+    RecoveryNack,   ///< home tells a waiter to restart its request
+    DurableWrite,   ///< owner write-through word under a crash plan
     NumTypes,
 };
 

@@ -12,6 +12,7 @@ faultClassName(FaultClass c)
       case FaultClass::Reply: return "reply";
       case FaultClass::Ack: return "ack";
       case FaultClass::Control: return "control";
+      case FaultClass::Recovery: return "recovery";
       case FaultClass::NumClasses: break;
     }
     return "?";
@@ -44,8 +45,82 @@ FaultCounters::totalDelayed() const
     return t;
 }
 
-FaultInjector::FaultInjector(FaultPlan plan)
-    : _plan(std::move(plan)), _enabled(_plan.enabled()),
+std::uint64_t
+FaultCounters::totalCrashMasked() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t v : crashMasked)
+        t += v;
+    return t;
+}
+
+namespace
+{
+
+std::uint64_t
+splitmix64Next(std::uint64_t &s)
+{
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
+
+bool
+CrashPlan::enabled() const
+{
+    for (const CrashEvent &e : events)
+        if (e.node != invalidNode)
+            return true;
+    return false;
+}
+
+bool
+CrashPlan::deadAt(NodeId node, Tick when) const
+{
+    for (const CrashEvent &e : events) {
+        if (e.node != node)
+            continue;
+        if (when >= e.killTick &&
+            (e.restartTick == 0 || when < e.restartTick)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+CrashPlan
+CrashPlan::singleNode(NodeId node, Tick kill, Tick restart)
+{
+    CrashPlan p;
+    p.events.push_back({node, kill, restart});
+    return p;
+}
+
+CrashPlan
+CrashPlan::randomSingle(std::uint64_t seed, unsigned num_nodes,
+                        Tick kill_lo, Tick kill_hi,
+                        Tick restart_delta)
+{
+    CrashPlan p;
+    p.seed = seed;
+    std::uint64_t s = seed;
+    CrashEvent e;
+    e.node = static_cast<NodeId>(splitmix64Next(s) % num_nodes);
+    Tick span = kill_hi >= kill_lo ? kill_hi - kill_lo + 1 : 1;
+    e.killTick = kill_lo + splitmix64Next(s) % span;
+    e.restartTick =
+        restart_delta ? e.killTick + restart_delta : 0;
+    p.events.push_back(e);
+    return p;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, CrashPlan crash_plan)
+    : _plan(std::move(plan)), _crash(std::move(crash_plan)),
+      _enabled(_plan.enabled() || _crash.enabled()),
       state(_plan.seed)
 {
 }
@@ -82,6 +157,16 @@ FaultInjector::decide(NodeId dst, Tick when)
     const FaultRates &r = _plan.rates[ci];
     ++ctrs.consulted[ci];
 
+    // Crash mask first, before any random draw: a dead cache sinks
+    // the delivery unconditionally, so the fate of every surviving
+    // message is the same with or without the crash schedule.
+    if (!clsToMemory && _crash.deadAt(dst, when)) {
+        d.drop = true;
+        d.crashMasked = true;
+        ++ctrs.crashMasked[ci];
+        return d;
+    }
+
     double drop = r.drop;
     for (const DegradeWindow &w : _plan.windows) {
         if (when >= w.begin && when < w.end &&
@@ -90,6 +175,13 @@ FaultInjector::decide(NodeId dst, Tick when)
             d.extraDelay += w.extraDelay;
         }
     }
+
+    // Recovery traffic rides a lossless (virtual) channel: the
+    // reconstruction protocol assumes its probes and acks arrive
+    // (DESIGN.md 5f). Degrade-window delay still applies - it only
+    // slows recovery down.
+    if (cls == FaultClass::Recovery)
+        drop = 0;
 
     if (drop > 0 && unitReal(draw()) < drop) {
         d.drop = true;

@@ -48,6 +48,7 @@ enum class FaultClass : std::uint8_t
     Reply,    ///< data/state replies and grants
     Ack,      ///< acknowledgements and NACKs
     Control,  ///< unblocks, multicasts, everything else
+    Recovery, ///< crash-recovery traffic (suspects, purges, probes)
     NumClasses,
 };
 
@@ -82,6 +83,54 @@ struct DegradeWindow
     NodeId node = invalidNode; ///< affected port, invalidNode = all
     double dropBoost = 0;
     Tick extraDelay = 0;
+};
+
+/**
+ * One crash-stop failure: the node's cache controller dies at
+ * @c killTick (all cache state lost, no further sends or ACKs) and
+ * optionally restarts cold at @c restartTick. The co-located memory
+ * module survives - the paper keeps the recovery root (block store
+ * plus data) at the memory level, and that is exactly the state a
+ * reconstruction rebuilds the distributed directory from.
+ */
+struct CrashEvent
+{
+    NodeId node = invalidNode;
+    Tick killTick = 0;    ///< cache dies at this tick
+    Tick restartTick = 0; ///< cold rejoin tick; 0 = never restarts
+};
+
+/**
+ * A complete, reproducible crash schedule. Like FaultPlan, a
+ * CrashPlan makes every crash decision a pure function of the plan:
+ * the same (seed, plan) kills the same nodes at the same ticks on
+ * any host or thread count.
+ */
+struct CrashPlan
+{
+    std::uint64_t seed = 0xdead;
+    std::vector<CrashEvent> events;
+
+    /** @return true iff the plan kills anything. */
+    bool enabled() const;
+
+    /** @return whether @p node is dead at @p when under this plan. */
+    bool deadAt(NodeId node, Tick when) const;
+
+    /** Directed single-node schedule. */
+    static CrashPlan singleNode(NodeId node, Tick kill,
+                                Tick restart = 0);
+
+    /**
+     * Seeded single-node schedule: the victim and its kill tick are
+     * drawn from @p seed (splitmix64, same generator as the fault
+     * stream), with the kill uniform in [kill_lo, kill_hi] and an
+     * optional cold restart @p restart_delta ticks later.
+     */
+    static CrashPlan randomSingle(std::uint64_t seed,
+                                  unsigned num_nodes, Tick kill_lo,
+                                  Tick kill_hi,
+                                  Tick restart_delta = 0);
 };
 
 /** A complete, reproducible description of adverse delivery. */
@@ -123,11 +172,19 @@ struct FaultDecision
 {
     bool drop = false;
     bool duplicate = false;
+    /** The drop is a crash mask (destination dead), not a random
+     *  message fault; accounted separately in FaultCounters. */
+    bool crashMasked = false;
     Tick extraDelay = 0; ///< applied to the (first) delivery
     Tick dupDelay = 0;   ///< duplicate arrives this much later
 };
 
-/** What the injector did, per class. */
+/**
+ * What the injector did, per class. Crash-masked deliveries (sunk
+ * because the destination cache is dead) are counted apart from the
+ * random drops so a soak run can tell message loss the retry layer
+ * must recover from crash silence the reconstruction layer handles.
+ */
 struct FaultCounters
 {
     static constexpr std::size_t N =
@@ -136,10 +193,12 @@ struct FaultCounters
     std::array<std::uint64_t, N> dropped{};
     std::array<std::uint64_t, N> duplicated{};
     std::array<std::uint64_t, N> delayed{};
+    std::array<std::uint64_t, N> crashMasked{};
 
     std::uint64_t totalDropped() const;
     std::uint64_t totalDuplicated() const;
     std::uint64_t totalDelayed() const;
+    std::uint64_t totalCrashMasked() const;
 };
 
 /**
@@ -153,24 +212,52 @@ struct FaultCounters
 class FaultInjector
 {
   public:
-    explicit FaultInjector(FaultPlan plan);
+    explicit FaultInjector(FaultPlan plan,
+                           CrashPlan crash_plan = {});
 
-    /** @return true iff the plan can affect any delivery. */
+    /** @return true iff either plan can affect any delivery. */
     bool enabled() const { return _enabled; }
 
     const FaultPlan &plan() const { return _plan; }
+    const CrashPlan &crashPlan() const { return _crash; }
 
-    /** Tag the class of the message about to be sent. */
-    void setMessageClass(FaultClass c) { cls = c; }
+    /**
+     * Tag the class of the message about to be sent.
+     *
+     * @param to_memory the message targets the (crash-immune)
+     *        memory side of its destination port, so a dead cache
+     *        there does not mask it
+     */
+    void
+    setMessageClass(FaultClass c, bool to_memory = false)
+    {
+        cls = c;
+        clsToMemory = to_memory;
+    }
     FaultClass messageClass() const { return cls; }
 
     /**
-     * Decide the fate of one delivery.
+     * Decide the fate of one delivery. A delivery whose destination
+     * cache is dead at its arrival tick is sunk (crash-stop nodes
+     * neither receive nor ACK) without consuming a random draw, so
+     * the fault pattern of the surviving traffic is a pure function
+     * of (seed, plan) with or without crashes.
      *
      * @param dst destination port
      * @param when contention-aware arrival tick
      */
     FaultDecision decide(NodeId dst, Tick when);
+
+    /**
+     * Account a crash-masked delivery decided outside the network
+     * path (the engine's local same-port exchange bypasses
+     * TimedNetwork; its sink must count through the same ledger).
+     */
+    void
+    recordCrashMasked(FaultClass c)
+    {
+        ++ctrs.crashMasked[static_cast<std::size_t>(c)];
+    }
 
     const FaultCounters &counters() const { return ctrs; }
 
@@ -179,8 +266,10 @@ class FaultInjector
     std::uint64_t draw();
 
     FaultPlan _plan;
+    CrashPlan _crash;
     bool _enabled;
     FaultClass cls = FaultClass::Control;
+    bool clsToMemory = false;
     std::uint64_t state;
     FaultCounters ctrs;
 };

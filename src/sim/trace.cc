@@ -46,6 +46,12 @@ traceEventName(TraceEvent e)
       case TraceEvent::NetDeliver: return "net_deliver";
       case TraceEvent::EvSchedule: return "ev_schedule";
       case TraceEvent::WatchdogFlag: return "watchdog_flag";
+      case TraceEvent::Crash: return "crash";
+      case TraceEvent::Rejoin: return "rejoin";
+      case TraceEvent::Suspect: return "suspect";
+      case TraceEvent::Purge: return "purge";
+      case TraceEvent::Rebuild: return "rebuild";
+      case TraceEvent::CrashMask: return "crash_mask";
       default: return "unknown";
     }
 }
@@ -102,16 +108,21 @@ namespace
 {
 
 /**
- * Span categories. Issue/Complete and EvictStart/EvictEnd form async
- * begin/end pairs; everything else renders as an instant.
+ * Span categories. Issue/Complete, EvictStart/EvictEnd and
+ * Suspect/Rebuild (directory reconstruction, keyed by the home node
+ * and the recovered block) form async begin/end pairs; everything
+ * else renders as an instant.
  */
 enum SpanRole : char { RoleInstant = 0, RoleBegin = 1, RoleEnd = 2 };
 
 const char *
 spanCat(TraceEvent e)
 {
-    return (e == TraceEvent::Issue || e == TraceEvent::Complete)
-        ? "txn" : "evict";
+    if (e == TraceEvent::Issue || e == TraceEvent::Complete)
+        return "txn";
+    if (e == TraceEvent::Suspect || e == TraceEvent::Rebuild)
+        return "recovery";
+    return "evict";
 }
 
 std::uint64_t
@@ -144,9 +155,11 @@ exportChromeTrace(std::ostream &os,
     for (std::size_t i = 0; i < records.size(); ++i) {
         const auto kind = static_cast<TraceEvent>(records[i].kind);
         const bool isBegin = kind == TraceEvent::Issue ||
-                             kind == TraceEvent::EvictStart;
+                             kind == TraceEvent::EvictStart ||
+                             kind == TraceEvent::Suspect;
         const bool isEnd = kind == TraceEvent::Complete ||
-                           kind == TraceEvent::EvictEnd;
+                           kind == TraceEvent::EvictEnd ||
+                           kind == TraceEvent::Rebuild;
         if (!isBegin && !isEnd)
             continue;
         const char catKey = spanCat(kind)[0];
@@ -200,7 +213,19 @@ exportChromeTrace(std::ostream &os,
                            cat, role[i] == RoleBegin ? "b" : "e",
                            static_cast<unsigned long long>(spanId(r)));
             emitCommonTail(os, r);
-            if (role[i] == RoleEnd) {
+            if (kind == TraceEvent::Suspect) {
+                os << csprintf(",\"args\":{\"blk\":%llu,"
+                               "\"suspect\":%u}",
+                               static_cast<unsigned long long>(r.seq),
+                               static_cast<unsigned>(r.node2));
+            } else if (kind == TraceEvent::Rebuild) {
+                // Reconstruction end carries the number of purge
+                // acks the rebuild collected.
+                os << csprintf(",\"args\":{\"blk\":%llu,"
+                               "\"acks\":%llu}",
+                               static_cast<unsigned long long>(r.seq),
+                               static_cast<unsigned long long>(r.arg));
+            } else if (role[i] == RoleEnd) {
                 // Completion records carry the operation class and
                 // the measured latency.
                 os << csprintf(",\"args\":{\"op\":\"%s\","

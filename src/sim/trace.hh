@@ -72,6 +72,12 @@ enum class TraceEvent : std::uint8_t
     NetDeliver,    ///< TimedNetwork delivery callback ran
     EvSchedule,    ///< EventQueue scheduled an event (arg = when)
     WatchdogFlag,  ///< watchdog flagged an over-age transaction
+    Crash,         ///< node's cache controller died (arg = restart)
+    Rejoin,        ///< crashed node rejoined cold
+    Suspect,       ///< home starts reconstruction (seq = blk)
+    Purge,         ///< recovery purge delivered (seq = blk)
+    Rebuild,       ///< reconstruction finished (seq = blk)
+    CrashMask,     ///< delivery sunk: destination cache dead
     NumEvents,
 };
 

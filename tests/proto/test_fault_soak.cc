@@ -193,6 +193,75 @@ TEST(FaultSoak, GridStaysLinearizableAndInvariantClean)
     EXPECT_GT(retries, 50u);
 }
 
+TEST(FaultSoak, CrashSoakGridStaysClean)
+{
+    // Crash-stop soak: every fault mix crossed with a kill/restart
+    // schedule and a spread of seeds. Survivors must finish
+    // watchdog-silent, linearizable and invariant-clean (I8
+    // included); collectively the grid must actually mask
+    // deliveries to dead nodes, rebuild directories and rejoin
+    // restarted nodes.
+    struct Mix
+    {
+        double drop, dup, delay;
+    };
+    const Mix mixes[] = {
+        {0.0, 0.0, 0.0},    // crash only
+        {0.02, 0.0, 0.0},   // crash + request drops
+        {0.02, 0.03, 0.05}, // crash + the full envelope
+    };
+    struct Crash
+    {
+        Tick kill, restartDelta;
+    };
+    const Crash crashes[] = {
+        {700, 0},     // die early, stay down
+        {2500, 3000}, // die mid-run, come back cold
+    };
+
+    std::vector<SweepPoint> pts;
+    for (const Mix &m : mixes) {
+        for (const Crash &c : crashes) {
+            for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+                SweepPoint pt;
+                hardenPoint(pt);
+                pt.timeoutBase = 256;
+                pt.maxRetries = 5;
+                pt.watchdogAge = 400000;
+                pt.numPorts = 8;
+                pt.tasks = 8;
+                pt.writeFraction = 0.35;
+                pt.numRefs = 1500;
+                pt.seed = seed;
+                pt.faultSeed = seed * 0x517 + 3;
+                pt.faultDropRate = m.drop;
+                pt.faultDupRate = m.dup;
+                pt.faultDelayRate = m.delay;
+                pt.crashNode = static_cast<NodeId>(seed % 8);
+                pt.crashTick = c.kill + seed * 37;
+                pt.crashRestartDelta = c.restartDelta;
+                pts.push_back(pt);
+            }
+        }
+    }
+
+    std::vector<SweepResult> res = runSweep(pts);
+    std::uint64_t masked = 0, rebuilds = 0, rejoins = 0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        const SweepResult &r = res[i];
+        EXPECT_EQ(r.valueErrors, 0u) << "point " << i;
+        EXPECT_EQ(r.deadlocks, 0u) << "point " << i;
+        EXPECT_EQ(r.invariantErrors, 0u) << "point " << i;
+        EXPECT_EQ(r.crashes, 1u) << "point " << i;
+        masked += r.crashMasked;
+        rebuilds += r.rebuilds;
+        rejoins += r.rejoins;
+    }
+    EXPECT_GT(masked, 0u);
+    EXPECT_GT(rebuilds, 0u);
+    EXPECT_GT(rejoins, 0u);
+}
+
 TEST(FaultSoak, ZeroFaultHardeningIsInert)
 {
     // Timeouts armed (but never firing) and a running watchdog must
