@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Model-checker sweep: exhaust (or budget-explore) the acceptance
+ * configurations and print one coverage row per config.
+ *
+ * Configs are independent, so they fan out over the thread pool;
+ * rows are keyed by config index and printed in order, keeping
+ * stdout byte-stable regardless of MSCP_THREADS (the explorer
+ * itself is sequential -- parallelism is across configs only).
+ * Coverage numbers (unique states, edges, settled states checked,
+ * seen-set prune hits) go to BenchJson when $MSCP_BENCH_JSON is
+ * set. Any violation renders its minimized counterexample to
+ * stderr and fails the process: this bench doubles as the CI gate
+ * that the healthy engine model-checks clean.
+ *
+ * The matrix:
+ *   A-dw / A-gr  2-node, 1-block, 2-ops-per-cpu, both modes --
+ *                exhausted completely (the ISSUE acceptance bar);
+ *   B-3cpu      3 active cpus on a 4-port network, single block --
+ *                explored under a state budget;
+ *   C-evict     two blocks through a 1-way set, forcing evictions
+ *                and ownership hand-offs (symmetry auto-disabled);
+ *   D-timeout    retry-timer machinery on, timers fire at any
+ *                protocol point -- exhausted completely;
+ *   E-crash      one budgeted crash with suspicion/recovery on,
+ *                under depth+state budgets (the suspect-retry loop
+ *                makes the full space unbounded; see DESIGN.md 5g).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bench_json.hh"
+#include "sim/logging.hh"
+#include "sim/pool.hh"
+#include "verify/explorer.hh"
+#include "verify/state.hh"
+
+using namespace mscp;
+using verify::ExploreResult;
+using verify::Explorer;
+using verify::VerifyConfig;
+
+namespace
+{
+
+std::vector<VerifyConfig>
+matrix()
+{
+    std::vector<VerifyConfig> cfgs;
+
+    VerifyConfig a;
+    a.name = "A-dw";
+    a.nodes = 2;
+    a.geometry = cache::Geometry{1, 1, 1};
+    a.mode = cache::Mode::DistributedWrite;
+    a.program = {
+        {{0, 0, true, 1}, {0, 0, true, 2}},
+        {{1, 0, false, 0}, {1, 0, false, 0}},
+    };
+    cfgs.push_back(a);
+
+    VerifyConfig ag = a;
+    ag.name = "A-gr";
+    ag.mode = cache::Mode::GlobalRead;
+    cfgs.push_back(ag);
+
+    VerifyConfig b;
+    b.name = "B-3cpu";
+    b.nodes = 4;
+    b.geometry = cache::Geometry{1, 1, 1};
+    b.mode = cache::Mode::DistributedWrite;
+    b.program = {
+        {{0, 0, true, 7}},
+        {{1, 0, false, 0}},
+        {{2, 0, false, 0}},
+    };
+    b.opt.maxStates = 200000;
+    cfgs.push_back(b);
+
+    VerifyConfig c;
+    c.name = "C-evict";
+    c.nodes = 2;
+    c.geometry = cache::Geometry{1, 1, 1};
+    c.mode = cache::Mode::DistributedWrite;
+    c.program = {
+        {{0, 0, true, 1}, {0, 1, true, 2}, {0, 0, false, 0}},
+        {{1, 1, false, 0}},
+    };
+    cfgs.push_back(c);
+
+    VerifyConfig d;
+    d.name = "D-timeout";
+    d.nodes = 2;
+    d.geometry = cache::Geometry{1, 1, 1};
+    d.mode = cache::Mode::DistributedWrite;
+    d.program = {
+        {{0, 0, true, 1}},
+        {{1, 0, false, 0}},
+    };
+    d.opt.timeoutBase = 1;
+    d.opt.maxRetries = 1;
+    cfgs.push_back(d);
+
+    VerifyConfig e = d;
+    e.name = "E-crash";
+    e.opt.crashBudget = 1;
+    e.opt.allowRejoin = false;
+    e.opt.maxDepth = 40;
+    e.opt.maxStates = 30000;
+    cfgs.push_back(e);
+
+    return cfgs;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    core::BenchJson json("verify_sweep");
+    setLogLevel(LogLevel::Silent);
+
+    std::vector<VerifyConfig> cfgs = matrix();
+    std::vector<ExploreResult> results(cfgs.size());
+    std::vector<std::string> renders(cfgs.size());
+
+    ThreadPool::parallelFor(
+        cfgs.size(), ThreadPool::defaultThreads(),
+        [&](std::size_t i) {
+            Explorer ex(cfgs[i]);
+            results[i] = ex.explore();
+            if (!results[i].violations.empty()) {
+                const auto &v = results[i].violations[0];
+                renders[i] = Explorer::renderViolation(
+                    cfgs[i], v, ex.minimize(v));
+            }
+        });
+
+    std::printf("%-10s %9s %9s %8s %10s %7s %s\n", "config",
+                "states", "edges", "settled", "prunedSeen", "depth",
+                "verdict");
+    bool failed = false;
+    std::uint64_t totalStates = 0, totalEdges = 0;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const ExploreResult &r = results[i];
+        const char *verdict =
+            !r.violations.empty() ? "VIOLATION"
+            : r.complete          ? "exhausted"
+                                  : "budgeted";
+        std::printf("%-10s %9llu %9llu %8llu %10llu %7u %s\n",
+                    cfgs[i].name.c_str(),
+                    static_cast<unsigned long long>(r.states),
+                    static_cast<unsigned long long>(r.edges),
+                    static_cast<unsigned long long>(
+                        r.settledStates),
+                    static_cast<unsigned long long>(r.prunedSeen),
+                    r.maxDepthReached, verdict);
+        if (!r.violations.empty()) {
+            std::fprintf(stderr, "%s", renders[i].c_str());
+            failed = true;
+        }
+        totalStates += r.states;
+        totalEdges += r.edges;
+
+        std::string p = "verify_" + cfgs[i].name;
+        json.metric((p + "_states").c_str(), r.states);
+        json.metric((p + "_edges").c_str(), r.edges);
+        json.metric((p + "_settled").c_str(), r.settledStates);
+        json.metric((p + "_pruned_seen").c_str(), r.prunedSeen);
+        json.metric((p + "_complete").c_str(),
+                    static_cast<std::uint64_t>(r.complete ? 1 : 0));
+    }
+
+    json.finish(cfgs.size(), totalEdges);
+    return failed ? 1 : 0;
+}

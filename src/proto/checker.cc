@@ -16,6 +16,8 @@ struct BlockView
     NodeId owner = invalidNode;
     const cache::Entry *ownerEntry = nullptr;
     std::vector<std::pair<NodeId, const cache::Entry *>> holders;
+    /** Entries in any owned (writable) state, for I9. */
+    unsigned ownedCount = 0;
 };
 
 } // anonymous namespace
@@ -85,6 +87,7 @@ checkInvariants(const SystemView &proto)
             BlockView &bv = blocks[e->block];
             bv.holders.emplace_back(c, e);
             if (cache::isOwned(e->field.state)) {
+                ++bv.ownedCount;
                 if (bv.owner != invalidNode) {
                     fail(csprintf("I1: block %llu owned by both %u "
                                   "and %u",
@@ -190,6 +193,59 @@ checkInvariants(const SystemView &proto)
                 fail(csprintf("I6: block %llu unmodified owner copy "
                               "differs from memory",
                               (unsigned long long)blk));
+            }
+        }
+
+        // I9: single writer. Only an owned state is writable, so
+        // SWMR holds exactly when at most one entry is owned.
+        if (bv.ownedCount > 1) {
+            fail(csprintf("I9: block %llu held writable by %u "
+                          "caches (SWMR violated)",
+                          (unsigned long long)blk, bv.ownedCount));
+        }
+
+        // I10: the owner's copy carries the latest completed write
+        // of every word (non-owner copies equal it via I2, and GR
+        // mode has no other valid copies).
+        if (proto.expectedWord) {
+            Addr base = static_cast<Addr>(blk) * oe.data.size();
+            for (std::size_t off = 0; off < oe.data.size(); ++off) {
+                std::uint64_t want = 0;
+                if (!proto.expectedWord(base + off, want))
+                    continue;
+                if (oe.data[off] != want) {
+                    fail(csprintf(
+                        "I10: block %llu word %zu: owner %u holds "
+                        "%llu, latest completed write is %llu",
+                        (unsigned long long)blk, off, bv.owner,
+                        (unsigned long long)oe.data[off],
+                        (unsigned long long)want));
+                }
+            }
+        }
+    }
+
+    // I10 for blocks with no cached copy: memory is the only copy
+    // and must hold the latest completed value of every word.
+    if (proto.expectedWord && proto.numBlocks) {
+        for (BlockId blk = 0; blk < proto.numBlocks; ++blk) {
+            if (blocks.count(blk))
+                continue;
+            NodeId home = proto.homeOf(blk);
+            auto mem = proto.memoryModule(home).readBlock(blk);
+            Addr base = static_cast<Addr>(blk) * mem.size();
+            for (std::size_t off = 0; off < mem.size(); ++off) {
+                std::uint64_t want = 0;
+                if (!proto.expectedWord(base + off, want))
+                    continue;
+                if (mem[off] != want) {
+                    fail(csprintf(
+                        "I10: block %llu word %zu: uncached, memory "
+                        "holds %llu, latest completed write is %llu",
+                        (unsigned long long)blk, off,
+                        (unsigned long long)mem[off],
+                        (unsigned long long)want));
+                }
             }
         }
     }

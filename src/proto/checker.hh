@@ -22,7 +22,16 @@
  *      UnOwned/Invalid entries);
  *  I8  no live state references a dead node: a crashed cache holds
  *      no entries, no block store names a dead owner, and no live
- *      Invalid entry's OWNER field points at a dead node.
+ *      Invalid entry's OWNER field points at a dead node;
+ *  I9  single-writer/multiple-reader: at most one cache holds a
+ *      block in a writable (owned) state, and every other copy is
+ *      read-only (explicit SWMR statement; overlaps I1/I3 but is
+ *      reported under its own tag so model-checker counterexamples
+ *      name the property the paper's protocol is meant to provide);
+ *  I10 data-value: when the view supplies an expectedWord oracle
+ *      (the latest completed write per address), the owner's copy
+ *      of every cached block matches it, and memory matches it for
+ *      blocks with no cached copy (requires numBlocks).
  *
  * Under a crash plan I1-I7 quantify over *live* caches only (a
  * dead cache has no protocol state by definition); I8 covers the
@@ -60,6 +69,15 @@ struct SystemView
     std::function<bool(NodeId)> isLive;
     /** Whether the system is quiescent; null means it is. */
     std::function<bool()> isQuiescent;
+    /**
+     * Latest completed write per word address (I10); returns false
+     * when no write to @p a has completed (the initial value is
+     * then unconstrained). Null disables the data-value invariant.
+     */
+    std::function<bool(Addr, std::uint64_t &)> expectedWord;
+    /** Block-id universe [0, numBlocks) for I10's uncached-block
+     *  memory check; 0 limits I10 to cached copies. */
+    std::uint64_t numBlocks = 0;
 };
 
 /**

@@ -7,6 +7,19 @@
 namespace mscp::proto
 {
 
+#ifdef MSCP_FAULT_SEAM
+/**
+ * Deliberate-bug seam for the model-checker test matrix: when set,
+ * a DW-mode owner serving a read forward "forgets" to register the
+ * reader in its present vector, so a later distributed write skips
+ * that copy and the reader can observe a stale value. Only compiled
+ * into test binaries that #define MSCP_FAULT_SEAM and #include this
+ * translation unit; the production object never defines the macro
+ * and is byte-identical to a build without the seam.
+ */
+bool g_faultSeam = false;
+#endif
+
 using cache::Mode;
 using cache::State;
 
@@ -211,6 +224,10 @@ ConcurrentProtocol::deliverSlot(std::uint32_t slot, NodeId dst)
 void
 ConcurrentProtocol::scheduleLocal(Msg m, Tick delay)
 {
+    if (vControlled) {
+        vPending.push_back({std::move(m), vMemSend});
+        return;
+    }
     NodeId dst = m.dst;
     std::uint32_t slot = allocSlot(std::move(m));
     msgSlab[slot].refs = 1;
@@ -225,6 +242,12 @@ ConcurrentProtocol::send(Msg m)
     msgs.record(m.type, total);
     trace(TraceEvent::Send, m.src, m.dst,
           static_cast<std::uint8_t>(m.type), m.seq, m.blk);
+    if (vControlled) {
+        // Delivery order is the explorer's choice, not the
+        // network's: park the message until an action picks it.
+        vPending.push_back({std::move(m), vMemSend});
+        return;
+    }
     if (m.src == m.dst) {
         // Co-located processor-memory element: local exchange.
         scheduleLocal(std::move(m), 1);
@@ -276,6 +299,18 @@ ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
     proto_msg.offset = offset;
     proto_msg.value = value;
     proto_msg.requester = aux_owner;
+    if (vControlled) {
+        // One pending entry per requested destination. Scheme-3
+        // subcube overshoot is not modeled: overshoot deliveries
+        // are ignored by every handler, so the explored behavior
+        // is that of an exact multicast.
+        for (NodeId d : dests) {
+            Msg copy = proto_msg;
+            copy.dst = d;
+            vPending.push_back({std::move(copy), vMemSend});
+        }
+        return;
+    }
     injector.setMessageClass(classOf(t));
     std::uint32_t slot = allocSlot(std::move(proto_msg));
     timedNet.sendMulticast(
@@ -319,10 +354,16 @@ ConcurrentProtocol::deliver(const Msg &m)
               static_cast<std::uint8_t>(m.type), m.seq, m.blk);
         return;
     }
-    if (m.toMemory)
+    if (m.toMemory) {
+        // Messages sent while a home handler runs carry the memory
+        // src role (see VerifyPending::srcIsMem); inert otherwise.
+        bool saved = vMemSend;
+        vMemSend = true;
         handleMemMsg(m);
-    else
+        vMemSend = saved;
+    } else {
         handleCacheMsg(m);
+    }
 }
 
 // ---------------------------------------------------------------
@@ -390,6 +431,7 @@ ConcurrentProtocol::completeRef(NodeId cpu)
     cs.purged.erase(params.geometry.blockOf(cs.ref.addr));
     cs.active = false;
     cs.phase = Phase::Idle;
+    cs.vCommitPending = false;
     disarmTimeout(cpu);
     --refsOutstanding;
     if (refsOutstanding == 0 && watchdogArmed) {
@@ -397,6 +439,8 @@ ConcurrentProtocol::completeRef(NodeId cpu)
         eq.deschedule(watchdogEv);
         watchdogArmed = false;
     }
+    if (vControlled)
+        return; // the next reference issues as an explorer action
     eq.scheduleIn([this, cpu] { issueNext(cpu); },
                   params.thinkTime + 1);
 }
@@ -417,6 +461,10 @@ ConcurrentProtocol::startAccess(NodeId cpu)
         // re-register at the owner until it is acknowledged (the
         // clear could bounce via a NACK re-forward and erase the
         // fresh registration).
+        if (vControlled) {
+            cs.vDeferred = true; // retried by an explorer action
+            return;
+        }
         eq.scheduleIn([this, cpu] { startAccess(cpu); }, 20);
         return;
     }
@@ -431,6 +479,12 @@ ConcurrentProtocol::startAccess(NodeId cpu)
             cs.phase = Phase::Commit;
             trace(TraceEvent::Commit, cpu, cpu,
                   static_cast<std::uint8_t>(cs.opClass), cs.opId, 0);
+            if (vControlled) {
+                // Completion is a separate action so the explorer
+                // covers the Commit-window dup races.
+                cs.vCommitPending = true;
+                return;
+            }
             eq.scheduleIn([this, cpu] { completeRef(cpu); },
                           params.hitLatency);
             return;
@@ -545,6 +599,10 @@ ConcurrentProtocol::performOwnedWrite(NodeId cpu)
     cs.phase = Phase::Commit;
     trace(TraceEvent::Commit, cpu, cpu,
           static_cast<std::uint8_t>(cs.opClass), cs.opId, 0);
+    if (vControlled) {
+        cs.vCommitPending = true;
+        return;
+    }
     eq.scheduleIn([this, cpu] { completeRef(cpu); },
                   params.hitLatency);
 }
@@ -564,6 +622,10 @@ ConcurrentProtocol::allocateForMiss(NodeId cpu, BlockId blk)
         });
     if (!victim) {
         // Every way pinned by in-flight work: retry shortly.
+        if (vControlled) {
+            cs.vDeferred = true;
+            return false;
+        }
         eq.scheduleIn([this, cpu] { startAccess(cpu); }, 10);
         return false;
     }
@@ -867,7 +929,12 @@ ConcurrentProtocol::serveForward(const Msg &m)
     Mode mode = cache::modeOf(e->field.state);
 
     if (m.type == MsgType::LoadFwd) {
+#ifdef MSCP_FAULT_SEAM
+        if (!(g_faultSeam && mode == Mode::DistributedWrite))
+            e->field.present.set(r);
+#else
         e->field.present.set(r);
+#endif
         if (mode == Mode::DistributedWrite) {
             e->field.state = State::OwnedNonExclDW;
             Msg reply;
@@ -1971,6 +2038,13 @@ ConcurrentProtocol::armTimeout(NodeId cpu)
     if (params.timeoutBase == 0 || _aborted)
         return;
     CpuState &cs = cpus[cpu];
+    if (vControlled) {
+        // The timer never reaches the event queue (nor the jitter
+        // RNG): firing is an explorer action guarded by the seq.
+        cs.timeoutArmed = true;
+        cs.vTimeoutSeq = cs.txSeq;
+        return;
+    }
     if (cs.timeoutArmed)
         eq.deschedule(cs.timeoutEv);
     // Bounded exponential backoff with jitter: retry i waits
@@ -1990,6 +2064,10 @@ void
 ConcurrentProtocol::disarmTimeout(NodeId cpu)
 {
     CpuState &cs = cpus[cpu];
+    if (vControlled) {
+        cs.timeoutArmed = false;
+        return;
+    }
     if (cs.timeoutArmed) {
         eq.deschedule(cs.timeoutEv);
         cs.timeoutArmed = false;
@@ -2361,8 +2439,14 @@ ConcurrentProtocol::crashNode(NodeId n, Tick restart_tick)
         }
     }
 
+    cs.vCommitPending = false;
+    cs.vDeferred = false;
+
     // An in-flight reconstruction must not wait for the newly dead
-    // node's purge answer.
+    // node's purge answer. (Controlled mode: the RecoveryNacks a
+    // finished reconstruction sends originate at homes.)
+    bool saved_role = vMemSend;
+    vMemSend = true;
     for (HomeState &h : homes) {
         std::vector<BlockId> done;
         for (auto &[blk, ctx] : h.recoveryCtx) {
@@ -2375,10 +2459,19 @@ ConcurrentProtocol::crashNode(NodeId n, Tick restart_tick)
         for (BlockId blk : done)
             finishRecovery(h, blk);
     }
+    vMemSend = saved_role;
 
     // The homes sweep the dead node's ownerships one stabilization
     // window later - late enough that everything it sent before
     // dying has drained, so reconstruction sees a settled picture.
+    if (vControlled) {
+        // The sweep fires as an explicit action so the explorer
+        // covers pre- and post-stabilization interleavings.
+        if (std::find(vSweepPending.begin(), vSweepPending.end(),
+                      n) == vSweepPending.end())
+            vSweepPending.push_back(n);
+        return;
+    }
     eq.scheduleIn([this, n] { homeSweepDead(n); },
                   params.crashSuspectDelay);
 }

@@ -54,6 +54,13 @@
 #include "sim/trace.hh"
 #include "workload/ref_stream.hh"
 
+namespace mscp::verify
+{
+/** Model-checker driver (src/verify); befriended below so it can
+ *  snapshot engine state and pump buffered actions. */
+class EngineGateway;
+} // namespace mscp::verify
+
 namespace mscp::proto
 {
 
@@ -272,6 +279,15 @@ class ConcurrentProtocol
     /** @} */
 
   private:
+    /**
+     * The model checker (src/verify) drives the engine as a guarded
+     * -action transition system: with vControlled set it buffers
+     * every send and lifts every internal scheduling decision into
+     * an explorer-chosen action. The gateway is the only component
+     * with that level of access; production code never links it.
+     */
+    friend class ::mscp::verify::EngineGateway;
+
     using Entry = cache::Entry;
     using State = cache::State;
     using Mode = cache::Mode;
@@ -402,6 +418,17 @@ class ConcurrentProtocol
          * scratch instead (see the reply handlers).
          */
         FlatSet<BlockId> purged;
+
+        /** @{ model-checker controlled mode (inert otherwise) */
+        /** An accepted reply's completion awaits an explicit
+         *  explorer action instead of a scheduled event. */
+        bool vCommitPending = false;
+        /** A defer/retry loop (clearPending wait, all-ways-pinned
+         *  allocation) awaits an explicit retry action. */
+        bool vDeferred = false;
+        /** txSeq the armed (virtual) retry timer guards. */
+        std::uint64_t vTimeoutSeq = 0;
+        /** @} */
 
         bool
         isPinned(BlockId b) const
@@ -642,6 +669,30 @@ class ConcurrentProtocol
     FlatMap<Addr, std::uint64_t> lastCompleted;
     FlatMap<Addr, std::vector<std::uint64_t>> pendingWrites;
     std::uint64_t _valueErrors = 0;
+
+    /** @{ model-checker controlled mode (src/verify). All gates
+     *  check vControlled first, so normal runs take the exact same
+     *  paths as a build without the hooks. In controlled mode the
+     *  timed network and the event queue carry no protocol traffic:
+     *  sends are buffered in vPending for the explorer to deliver
+     *  in any order it chooses, completions and defer loops become
+     *  flags (CpuState::vCommitPending/vDeferred), timers arm
+     *  without scheduling, and crash sweeps park in vSweepPending. */
+    struct VerifyPending
+    {
+        Msg msg;
+        /** Sent by a memory-side (home) handler. The canonicalizer
+         *  needs the src role: a DataBlock or PresentClearAck can
+         *  originate from either a cache or a home, and only
+         *  cache-role node ids participate in symmetry reduction. */
+        bool srcIsMem = false;
+    };
+    bool vControlled = false;
+    bool vMemSend = false; ///< inside a memory-side send context
+    std::vector<VerifyPending> vPending;
+    /** Dead nodes whose stabilization sweep is still pending. */
+    std::vector<NodeId> vSweepPending;
+    /** @} */
 
     /** Latency accounting. */
     double readLatSum = 0;

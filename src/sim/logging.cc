@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +38,10 @@ csprintf(const char *fmt, ...)
 namespace
 {
 
-bool throwsOnError = true;
+// Atomic because parallel drivers (the sweep runner, the model
+// -checker sweep) toggle/read these from worker threads; relaxed
+// ordering suffices -- they gate diagnostics, not data.
+std::atomic<bool> throwsOnError{true};
 
 /** Parse MSCP_LOG once, before main(); default keeps the historical
  *  behavior (warn and inform both print). */
@@ -49,7 +53,7 @@ initialLogLevel()
     return LogLevel::Info;
 }
 
-LogLevel currentLevel = initialLogLevel();
+std::atomic<LogLevel> currentLevel{initialLogLevel()};
 
 } // anonymous namespace
 

@@ -52,6 +52,7 @@ traceEventName(TraceEvent e)
       case TraceEvent::Purge: return "purge";
       case TraceEvent::Rebuild: return "rebuild";
       case TraceEvent::CrashMask: return "crash_mask";
+      case TraceEvent::VerifyAction: return "verify_action";
       default: return "unknown";
     }
 }

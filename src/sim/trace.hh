@@ -78,6 +78,8 @@ enum class TraceEvent : std::uint8_t
     Purge,         ///< recovery purge delivered (seq = blk)
     Rebuild,       ///< reconstruction finished (seq = blk)
     CrashMask,     ///< delivery sunk: destination cache dead
+    VerifyAction,  ///< model-checker action boundary (counterexample
+                   ///< replays; cls = verify::ActionKind, arg = step)
     NumEvents,
 };
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Byte-writer and 128-bit hashing helpers for canonical state
+ * serializations. Engine access lives entirely in
+ * EngineGateway::canonical() (canon.cc); this header is plain
+ * utility code.
+ */
+
+#ifndef MSCP_VERIFY_CANON_HH
+#define MSCP_VERIFY_CANON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mscp::verify
+{
+
+/** Append-only little-endian byte writer. */
+class ByteSink
+{
+  public:
+    void u8(std::uint8_t v) { out.push_back(v); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(out); }
+    const std::vector<std::uint8_t> &bytes() const { return out; }
+
+  private:
+    std::vector<std::uint8_t> out;
+};
+
+/**
+ * 128-bit digest for the seen-state set: two independent 64-bit
+ * halves (FNV-1a and an xorshift-multiply variant), so the set
+ * stores 16 bytes per state instead of the full serialization.
+ * With a 2^-128 pairwise collision probability, accidental merges
+ * are negligible against state budgets in the millions.
+ */
+struct Hash128
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool
+    operator==(const Hash128 &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+inline Hash128
+hashBytes(const std::vector<std::uint8_t> &bytes)
+{
+    Hash128 h;
+    h.lo = 0xcbf29ce484222325ull;
+    h.hi = 0x9e3779b97f4a7c15ull;
+    for (std::uint8_t b : bytes) {
+        h.lo = (h.lo ^ b) * 0x100000001b3ull;
+        h.hi ^= b + 0x9e3779b97f4a7c15ull + (h.hi << 6) +
+                (h.hi >> 2);
+    }
+    return h;
+}
+
+struct Hash128Hasher
+{
+    std::size_t
+    operator()(const Hash128 &h) const
+    {
+        return static_cast<std::size_t>(h.lo ^ (h.hi * 0xff51afd7ed558ccdull));
+    }
+};
+
+} // namespace mscp::verify
+
+#endif // MSCP_VERIFY_CANON_HH

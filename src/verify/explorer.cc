@@ -1,0 +1,301 @@
+#include "explorer.hh"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "proto/message.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+#include "verify/canon.hh"
+
+namespace mscp::verify
+{
+
+namespace
+{
+
+/** Silence engine logging for the scope (exploration visits
+ *  panic-adjacent states on purpose; stderr noise is not output). */
+class SilenceLogging
+{
+  public:
+    SilenceLogging() : saved(logLevel())
+    {
+        setLogLevel(LogLevel::Silent);
+    }
+    ~SilenceLogging() { setLogLevel(saved); }
+
+  private:
+    LogLevel saved;
+};
+
+std::string
+describeAction(const Action &a)
+{
+    if (a.kind == ActionKind::Deliver) {
+        return csprintf("deliver %s %s%u -> %s%u blk=%llu seq=%llu",
+                        proto::msgTypeName(
+                            static_cast<proto::MsgType>(a.msgType)),
+                        a.srcIsMem ? "home" : "cpu",
+                        static_cast<unsigned>(a.src),
+                        a.toMemory ? "home" : "cpu",
+                        static_cast<unsigned>(a.dst),
+                        static_cast<unsigned long long>(a.blk),
+                        static_cast<unsigned long long>(a.seq));
+    }
+    return csprintf("%s %s%u", actionKindName(a.kind),
+                    a.kind == ActionKind::Sweep ? "node" : "cpu",
+                    static_cast<unsigned>(a.node));
+}
+
+} // anonymous namespace
+
+Explorer::Explorer(const VerifyConfig &cfg_) : cfg(cfg_) {}
+
+std::string
+Explorer::kindOf(const std::string &err)
+{
+    auto pos = err.find(':');
+    return pos == std::string::npos ? err : err.substr(0, pos);
+}
+
+ExploreResult
+Explorer::explore()
+{
+    SilenceLogging silent;
+    ExploreResult res;
+    EngineGateway gw(cfg);
+
+    struct Frame
+    {
+        std::vector<Action> acts;
+        std::size_t next = 0;
+    };
+
+    std::unordered_set<Hash128, Hash128Hasher> seen;
+    std::vector<Frame> frames;
+    std::vector<Action> path;
+    bool engineDirty = false;
+
+    seen.insert(hashBytes(gw.canonical()));
+    res.states = 1;
+    frames.push_back({gw.enabledActions(), 0});
+    if (frames.back().acts.empty() && gw.refsOutstanding() > 0) {
+        Violation v;
+        v.kind = "deadlock";
+        v.details.push_back(
+            "initial state has outstanding references and no "
+            "enabled action");
+        res.violations.push_back(v);
+        return res;
+    }
+
+    auto fail = [&](std::string kind,
+                    std::vector<std::string> details) {
+        Violation v;
+        v.kind = std::move(kind);
+        v.details = std::move(details);
+        v.path = path;
+        res.violations.push_back(std::move(v));
+    };
+
+    while (!frames.empty()) {
+        Frame &f = frames.back();
+        if (f.next >= f.acts.size()) {
+            frames.pop_back();
+            if (!path.empty()) {
+                path.pop_back();
+                engineDirty = true;
+            }
+            continue;
+        }
+        const Action a = f.acts[f.next++];
+
+        if (engineDirty) {
+            gw.reset();
+            for (const Action &p : path)
+                gw.apply(p);
+            engineDirty = false;
+        }
+
+        bool panicked = false;
+        std::string panicMsg;
+        try {
+            gw.apply(a);
+        } catch (const PanicError &pe) {
+            panicked = true;
+            panicMsg = pe.message;
+        }
+        ++res.edges;
+        path.push_back(a);
+        res.maxDepthReached = std::max(
+            res.maxDepthReached,
+            static_cast<unsigned>(path.size()));
+
+        if (panicked) {
+            fail("panic", {panicMsg});
+            return res;
+        }
+        if (gw.valueErrors() > 0) {
+            fail("value",
+                 {csprintf("%llu linearizability value error(s)",
+                           static_cast<unsigned long long>(
+                               gw.valueErrors()))});
+            return res;
+        }
+        if (gw.settled()) {
+            ++res.settledStates;
+            auto errs = gw.checkInvariants();
+            if (!errs.empty()) {
+                fail(kindOf(errs[0]), errs);
+                return res;
+            }
+        }
+
+        std::vector<Action> acts = gw.enabledActions();
+        if (acts.empty() && gw.refsOutstanding() > 0) {
+            fail("deadlock",
+                 {csprintf("%llu reference(s) outstanding with no "
+                           "enabled action",
+                           static_cast<unsigned long long>(
+                               gw.refsOutstanding()))});
+            return res;
+        }
+
+        Hash128 h = hashBytes(gw.canonical());
+        if (!seen.insert(h).second) {
+            ++res.prunedSeen;
+            path.pop_back();
+            engineDirty = true;
+            continue;
+        }
+        ++res.states;
+        if (res.states >= cfg.opt.maxStates) {
+            res.budgetExhausted = true;
+            break;
+        }
+        if (path.size() >= cfg.opt.maxDepth) {
+            ++res.prunedDepth;
+            path.pop_back();
+            engineDirty = true;
+            continue;
+        }
+        frames.push_back({std::move(acts), 0});
+    }
+
+    res.complete = res.violations.empty() && !res.budgetExhausted &&
+                   res.prunedDepth == 0;
+    return res;
+}
+
+bool
+Explorer::reproduces(EngineGateway &gw,
+                     const std::vector<Action> &actions,
+                     const std::string &kind)
+{
+    gw.reset();
+    for (const Action &a : actions) {
+        bool applied = false;
+        try {
+            applied = gw.applyIfEnabled(a);
+        } catch (const PanicError &) {
+            return kind == "panic";
+        }
+        if (!applied)
+            return false;
+        if (gw.valueErrors() > 0 && kind == "value")
+            return true;
+        if (gw.settled()) {
+            for (const std::string &err : gw.checkInvariants())
+                if (kindOf(err) == kind)
+                    return true;
+        }
+        if (kind == "deadlock" && gw.refsOutstanding() > 0 &&
+            gw.enabledActions().empty())
+            return true;
+    }
+    return false;
+}
+
+std::vector<Action>
+Explorer::minimize(const Violation &v)
+{
+    SilenceLogging silent;
+    EngineGateway gw(cfg);
+    std::vector<Action> cur = v.path;
+
+    // Single-removal delta debugging to fixpoint: drop any one
+    // action whose removal still replays to the same violation
+    // kind. Quadratic in path length, which minimized paths keep
+    // small; determinism of the replay makes the result stable.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+            std::vector<Action> cand;
+            cand.reserve(cur.size() - 1);
+            for (std::size_t j = 0; j < cur.size(); ++j)
+                if (j != i)
+                    cand.push_back(cur[j]);
+            if (reproduces(gw, cand, v.kind)) {
+                cur = std::move(cand);
+                changed = true;
+                break;
+            }
+        }
+    }
+    return cur;
+}
+
+std::string
+Explorer::renderViolation(const VerifyConfig &cfg,
+                          const Violation &v,
+                          const std::vector<Action> &minimized)
+{
+    std::ostringstream os;
+    os << "mscp-verify counterexample\n";
+    os << csprintf(
+        "config: %s nodes=%u mode=%s geometry=%ux%ux%u blocks=%llu "
+        "fifo=%d symmetry=%d timeoutBase=%llu maxRetries=%u "
+        "crashBudget=%u rejoin=%d\n",
+        cfg.name.c_str(), cfg.nodes,
+        cfg.mode == cache::Mode::DistributedWrite ? "dw" : "gr",
+        cfg.geometry.blockWords, cfg.geometry.numSets,
+        cfg.geometry.assoc,
+        static_cast<unsigned long long>(cfg.numBlocks()),
+        cfg.opt.fifoChannels ? 1 : 0, cfg.opt.symmetry ? 1 : 0,
+        static_cast<unsigned long long>(cfg.opt.timeoutBase),
+        cfg.opt.maxRetries, cfg.opt.crashBudget,
+        cfg.opt.allowRejoin ? 1 : 0);
+    os << "violation: " << v.kind << "\n";
+    for (const std::string &d : v.details)
+        os << "detail: " << d << "\n";
+    os << csprintf("steps: %zu (minimized from %zu)\n",
+                   minimized.size(), v.path.size());
+    for (std::size_t i = 0; i < minimized.size(); ++i)
+        os << csprintf("  %zu. %s\n", i + 1,
+                       describeAction(minimized[i]).c_str());
+    return os.str();
+}
+
+void
+Explorer::exportTrace(const VerifyConfig &cfg,
+                      const std::vector<Action> &path,
+                      std::ostream &os)
+{
+    SilenceLogging silent;
+    EngineGateway gw(cfg, /*with_trace=*/true);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        gw.markAction(path[i], i + 1);
+        try {
+            if (!gw.applyIfEnabled(path[i]))
+                break;
+        } catch (const PanicError &) {
+            break; // the violating step itself; recording is done
+        }
+    }
+    exportChromeTrace(os, gw.tracer());
+}
+
+} // namespace mscp::verify

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Explicit-state DFS explorer, counterexample minimizer, and
+ * counterexample renderers for the model checker.
+ */
+
+#ifndef MSCP_VERIFY_EXPLORER_HH
+#define MSCP_VERIFY_EXPLORER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/state.hh"
+
+namespace mscp::verify
+{
+
+/**
+ * Depth-first exploration of the configuration's transition
+ * system.
+ *
+ * The engine is non-copyable, so the explorer keeps exactly one
+ * and restores states by deterministic replay of the action prefix
+ * from a fresh reset. The seen-state set stores 128-bit hashes of
+ * the canonical serialization; a revisited state prunes the
+ * branch. Livelocks are therefore *pruned*, not detected: a cycle
+ * of states revisits and stops. Deadlocks (no enabled action with
+ * references outstanding) are reported as violations.
+ *
+ * After every action the explorer checks for value errors and
+ * engine panics; the full I1..I10 invariant suite additionally
+ * runs at every *settled* state (no pending work anywhere -- the
+ * suite's quiescence precondition). Exploration stops at the first
+ * violation.
+ */
+class Explorer
+{
+  public:
+    explicit Explorer(const VerifyConfig &cfg);
+
+    /** Explore; stops at the first violation or when exhausted. */
+    ExploreResult explore();
+
+    /**
+     * Delta-debug a violating path down to a locally minimal one:
+     * single-action removal passes to fixpoint. A candidate is
+     * accepted when every remaining action replays feasibly and a
+     * violation of the same kind occurs at any point.
+     */
+    std::vector<Action> minimize(const Violation &v);
+
+    /**
+     * Deterministic text rendering (stable across runs, thread
+     * counts and hosts: no ticks, no pointers, no hashes), used
+     * for golden-file comparison.
+     */
+    static std::string renderViolation(const VerifyConfig &cfg,
+                                       const Violation &v,
+                                       const std::vector<Action> &
+                                           minimized);
+
+    /**
+     * Replay @p path on a trace-enabled engine and export the
+     * recording as Chrome trace_event JSON (Perfetto-loadable).
+     * Each action boundary is marked with a VerifyAction instant.
+     * No-op output (an empty JSON array) when tracing is compiled
+     * out.
+     */
+    static void exportTrace(const VerifyConfig &cfg,
+                            const std::vector<Action> &path,
+                            std::ostream &os);
+
+  private:
+    /** Violation kind tag: invariant id before the first ':'. */
+    static std::string kindOf(const std::string &err);
+
+    /**
+     * Replay @p actions on @p gw; @return true when a violation of
+     * kind @p kind occurs at any point and every action applies.
+     */
+    bool reproduces(EngineGateway &gw,
+                    const std::vector<Action> &actions,
+                    const std::string &kind);
+
+    VerifyConfig cfg;
+};
+
+} // namespace mscp::verify
+
+#endif // MSCP_VERIFY_EXPLORER_HH

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Model-checker gateway: the concurrent engine as a guarded-action
+ * transition system.
+ *
+ * The explorer never runs the engine's event loop. Instead the
+ * engine is constructed in *controlled mode* (vControlled), where
+ * every source of nondeterminism is lifted into an explicit Action
+ * the explorer chooses:
+ *
+ *  - Issue      a cpu starts its next queued reference;
+ *  - Commit     a scheduled completion (hit latency window) fires;
+ *  - Retry      a deferred access (clearPending / all-ways-pinned
+ *               backoff loop) re-runs;
+ *  - Timeout    an armed retry timer fires;
+ *  - Deliver    one buffered message is delivered -- by default only
+ *               per-sender-stream FIFO heads are eligible (see
+ *               VerifyOptions::fifoChannels);
+ *  - Crash      a cache controller dies (budgeted);
+ *  - Rejoin     a dead node cold-restarts;
+ *  - Sweep      a dead node's stabilization sweep runs at the homes.
+ *
+ * Engines are deliberately non-copyable (the event queue holds
+ * inline callbacks), so "restore" is replay: the explorer rebuilds
+ * any state by resetting the gateway and re-applying the action
+ * prefix that reached it. Determinism makes replay exact. The
+ * canonical byte serialization (canon.cc) exists only for the
+ * seen-state set and for symmetry reduction -- it is never
+ * deserialized.
+ */
+
+#ifndef MSCP_VERIFY_STATE_HH
+#define MSCP_VERIFY_STATE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/omega_network.hh"
+#include "proto/concurrent.hh"
+#include "workload/ref_stream.hh"
+
+namespace mscp::verify
+{
+
+/** The kinds of transition the explorer can take. */
+enum class ActionKind : std::uint8_t
+{
+    Issue,
+    Commit,
+    Retry,
+    Timeout,
+    Deliver,
+    Sweep,
+    Rejoin,
+    Crash,
+};
+
+/** Printable action-kind name. */
+const char *actionKindName(ActionKind k);
+
+/**
+ * One enabled transition. For Deliver, @c index addresses the
+ * pending buffer at enumeration time and @c fp fingerprints the
+ * message content so a replay on a rebuilt engine (whose buffer
+ * order may differ after minimization) can re-locate it. The
+ * remaining fields describe the message for counterexample output.
+ */
+struct Action
+{
+    ActionKind kind = ActionKind::Issue;
+    NodeId node = 0;         ///< cpu / crashed node (non-Deliver)
+    std::uint32_t index = 0; ///< Deliver: pending-buffer position
+    std::uint64_t fp = 0;    ///< Deliver: content fingerprint
+    std::uint8_t msgType = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    bool srcIsMem = false;
+    bool toMemory = false;
+    std::uint64_t blk = 0;
+    std::uint64_t seq = 0;
+};
+
+/** Exploration budgets and reductions. */
+struct VerifyOptions
+{
+    /**
+     * Deliver only the head of each (src, src-role, dst, dst-role)
+     * stream. The real network is FIFO per physical port pair; the
+     * per-role-stream relaxation explored here is a strict superset
+     * of those orderings (sound: no real behavior is missed) and,
+     * unlike port-pair FIFO, is equivariant under the cache-role
+     * node permutations symmetry reduction applies. false explores
+     * every permutation of the pending buffer.
+     */
+    bool fifoChannels = true;
+    /**
+     * Canonicalize states up to permutation of cache roles (home
+     * roles are fixed by the block interleaving). Automatically
+     * disabled when the configuration can evict (see
+     * EngineGateway::symmetryEligible).
+     */
+    bool symmetry = true;
+    /** Unique-state budget; exploration stops expanding beyond it. */
+    std::uint64_t maxStates = 1u << 20;
+    /** Action-depth bound per path. */
+    unsigned maxDepth = 4096;
+    /** Crash actions allowed per path (0 = no crash exploration). */
+    unsigned crashBudget = 0;
+    /** Whether crashed nodes may cold-restart (Rejoin actions). */
+    bool allowRejoin = false;
+    /** Retry-timer base; > 0 arms (virtual) timers and enables
+     *  Timeout actions. */
+    Tick timeoutBase = 0;
+    unsigned maxRetries = 1;
+};
+
+/** One model-checking configuration. */
+struct VerifyConfig
+{
+    std::string name = "cfg";
+    /** Network ports (power of two >= 2); also cpu/home count. */
+    unsigned nodes = 2;
+    cache::Geometry geometry{1, 1, 1};
+    cache::Mode mode = cache::Mode::DistributedWrite;
+    /** program[cpu] = that cpu's in-order references. */
+    std::vector<std::vector<workload::MemRef>> program;
+    VerifyOptions opt;
+
+    /** Block-id universe touched by the programs: max block + 1. */
+    std::uint64_t numBlocks() const;
+};
+
+/** A property violation plus the action path that reaches it. */
+struct Violation
+{
+    /** "I1".."I10", "NQ", "value", "deadlock" or "panic". */
+    std::string kind;
+    std::vector<std::string> details;
+    std::vector<Action> path;
+};
+
+/** Exploration outcome and coverage statistics. */
+struct ExploreResult
+{
+    std::uint64_t states = 0;      ///< unique canonical states
+    std::uint64_t edges = 0;       ///< actions applied
+    std::uint64_t prunedSeen = 0;  ///< revisits cut by the seen set
+    std::uint64_t prunedDepth = 0; ///< paths cut by maxDepth
+    std::uint64_t settledStates = 0; ///< invariant-checked states
+    unsigned maxDepthReached = 0;
+    bool budgetExhausted = false;  ///< maxStates hit
+    /** Exhaustive: no violation, no budget/depth truncation. */
+    bool complete = false;
+    std::vector<Violation> violations; ///< first violation found
+};
+
+/**
+ * Owns one controlled engine and translates between explorer
+ * actions and engine internals (it is the engine's only friend).
+ */
+class EngineGateway
+{
+  public:
+    /** @param with_trace record engine events for counterexample
+     *  replay/export (off during exploration). */
+    explicit EngineGateway(const VerifyConfig &cfg,
+                           bool with_trace = false);
+    ~EngineGateway();
+
+    /** Rebuild the engine in its initial state. */
+    void reset();
+
+    /** Enabled transitions, in a fixed deterministic order. */
+    std::vector<Action> enabledActions() const;
+
+    /**
+     * Apply an enabled action. Engine panics surface as PanicError
+     * (logging is switched to throwing around the dispatch).
+     */
+    void apply(const Action &a);
+
+    /**
+     * Replay helper: apply @p a if it is still enabled, matching
+     * Deliver actions by fingerprint instead of buffer index.
+     * @return false when the action is infeasible in this state.
+     */
+    bool applyIfEnabled(const Action &a);
+
+    /**
+     * Whether the system has no work in flight: all references
+     * done or lost, nothing pending in the buffer, no sweeps
+     * outstanding and no home busy periods. The invariant suite is
+     * meaningful exactly here.
+     */
+    bool settled() const;
+
+    std::uint64_t refsOutstanding() const;
+    std::uint64_t valueErrors() const;
+
+    /** Run the I1..I10 suite over the current (settled) state. */
+    std::vector<std::string> checkInvariants() const;
+
+    /**
+     * Canonical byte serialization of the current state (canon.cc):
+     * absolute ticks dropped, per-space sequence/token/stamp values
+     * rank-renumbered, LRU clocks reduced to per-set ranks, pending
+     * messages grouped per stream, and (when enabled and eligible)
+     * the minimum over all cache-role permutations.
+     */
+    std::vector<std::uint8_t> canonical() const;
+
+    /**
+     * Whether cache-role symmetry reduction is sound for this
+     * configuration. Candidate lists for ownership hand-offs are
+     * materialized in ascending node-id order, which is not
+     * permutation-equivariant; the reduction is therefore only
+     * applied when no program can overflow a cache set (no
+     * evictions => no hand-offs). Larger configs explore with
+     * symmetry off.
+     */
+    bool symmetryEligible() const { return symEligible; }
+
+    /** Record a VerifyAction instant in the engine's tracer (used
+     *  by counterexample replays to mark action boundaries). */
+    void markAction(const Action &a, std::uint64_t step);
+
+    const VerifyConfig &config() const { return cfg; }
+    const Tracer &tracer() const;
+    const proto::ConcurrentProtocol &engine() const { return *eng; }
+
+  private:
+    using Engine = proto::ConcurrentProtocol;
+    using Msg = Engine::Msg;
+
+    void buildEngine();
+    /** Advance virtual time by one tick (one sentinel event), so
+     *  durable-write stamps and LRU updates of successive actions
+     *  stay causally ordered. */
+    void advance();
+    void applyUnchecked(const Action &a);
+    bool enabledNonDeliver(const Action &a) const;
+    /** Whether pending entry @p i is the head of its stream. */
+    bool isStreamHead(std::size_t i) const;
+    /**
+     * Whether pending entry @p i may be delivered now: the head of
+     * its stream under FIFO, and -- for RecoveryAck -- not before
+     * every in-flight message a dead cache sent has drained. The
+     * latter encodes the engine's stabilization assumption
+     * (DESIGN.md 5f): with uniform network latency, any post-crash
+     * purge/ack round trip strictly outlasts the dead node's
+     * pre-crash residual traffic, so a reconstruction can never
+     * complete while e.g. the victim's last DurableWrite is still
+     * in the air. An untimed model must impose that ordering
+     * explicitly or it reports unreachable stale-read artifacts.
+     */
+    bool deliverEligible(std::size_t i) const;
+    /** Any pending message sent by a now-dead cache role. */
+    bool deadSrcPending(NodeId n = invalidNode) const;
+    static std::uint64_t fingerprint(const Msg &m, bool src_is_mem);
+    static Action describeDeliver(const Msg &m, bool src_is_mem,
+                                  std::uint32_t index);
+
+    VerifyConfig cfg;
+    bool withTrace = false;
+    bool symEligible = false;
+    std::uint64_t nBlocks = 0;
+    std::unique_ptr<net::OmegaNetwork> net;
+    std::unique_ptr<Engine> eng;
+    std::uint64_t actionsApplied = 0;
+};
+
+} // namespace mscp::verify
+
+#endif // MSCP_VERIFY_STATE_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Model-checker tests over the healthy engine: the acceptance
+ * configs must exhaust (or stay within budget) with zero
+ * violations, exploration must be deterministic, symmetry
+ * reduction must shrink the state count without changing the
+ * verdict, and replay must reproduce states exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/canon.hh"
+#include "verify/explorer.hh"
+#include "verify/state.hh"
+
+using namespace mscp;
+using verify::Action;
+using verify::ActionKind;
+using verify::EngineGateway;
+using verify::Explorer;
+using verify::ExploreResult;
+using verify::VerifyConfig;
+
+namespace
+{
+
+/** 2-node, 1-block, 2-ops-per-cpu acceptance config. */
+VerifyConfig
+smallConfig(cache::Mode mode)
+{
+    VerifyConfig cfg;
+    cfg.name = mode == cache::Mode::DistributedWrite ? "A-dw"
+                                                     : "A-gr";
+    cfg.nodes = 2;
+    cfg.geometry = cache::Geometry{1, 1, 1};
+    cfg.mode = mode;
+    cfg.program = {
+        {{0, 0, true, 1}, {0, 0, true, 2}},
+        {{1, 0, false, 0}, {1, 0, false, 0}},
+    };
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(Verify, ExhaustiveCleanDistributedWrite)
+{
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    Explorer ex(cfg);
+    ExploreResult res = ex.explore();
+    if (!res.violations.empty()) {
+        ADD_FAILURE() << Explorer::renderViolation(
+            cfg, res.violations[0], res.violations[0].path);
+    }
+    EXPECT_TRUE(res.complete);
+    EXPECT_GT(res.states, 10u);
+    EXPECT_GT(res.settledStates, 0u);
+}
+
+TEST(Verify, ExhaustiveCleanGlobalRead)
+{
+    Explorer ex(smallConfig(cache::Mode::GlobalRead));
+    ExploreResult res = ex.explore();
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_TRUE(res.complete);
+    EXPECT_GT(res.states, 10u);
+    EXPECT_GT(res.settledStates, 0u);
+}
+
+TEST(Verify, ExplorationIsDeterministic)
+{
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    ExploreResult a = Explorer(cfg).explore();
+    ExploreResult b = Explorer(cfg).explore();
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.prunedSeen, b.prunedSeen);
+    EXPECT_EQ(a.settledStates, b.settledStates);
+    EXPECT_EQ(a.maxDepthReached, b.maxDepthReached);
+}
+
+TEST(Verify, SymmetryShrinksWithoutChangingVerdict)
+{
+    VerifyConfig sym = smallConfig(cache::Mode::DistributedWrite);
+    VerifyConfig nosym = sym;
+    nosym.opt.symmetry = false;
+
+    EXPECT_TRUE(EngineGateway(sym).symmetryEligible());
+
+    ExploreResult rs = Explorer(sym).explore();
+    ExploreResult rn = Explorer(nosym).explore();
+    EXPECT_TRUE(rs.violations.empty());
+    EXPECT_TRUE(rn.violations.empty());
+    EXPECT_TRUE(rs.complete);
+    EXPECT_TRUE(rn.complete);
+    // The programs are asymmetric, so the reduction cannot merge
+    // everything, but it must never grow the state space.
+    EXPECT_LE(rs.states, rn.states);
+}
+
+TEST(Verify, EvictionConfigDisablesSymmetry)
+{
+    // Two blocks contending for a single direct-mapped set force
+    // evictions; candidate-list formation is not permutation
+    // -equivariant, so the gateway must refuse the reduction.
+    VerifyConfig cfg;
+    cfg.name = "evict";
+    cfg.nodes = 2;
+    cfg.geometry = cache::Geometry{1, 1, 1};
+    cfg.mode = cache::Mode::DistributedWrite;
+    cfg.program = {
+        {{0, 0, true, 1}, {0, 1, true, 2}, {0, 0, false, 0}},
+        {{1, 1, false, 0}},
+    };
+    EngineGateway gw(cfg);
+    EXPECT_FALSE(gw.symmetryEligible());
+
+    ExploreResult res = Explorer(cfg).explore();
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_TRUE(res.complete);
+}
+
+TEST(Verify, TimeoutRetryConfigStaysClean)
+{
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    cfg.name = "timeout";
+    cfg.program = {
+        {{0, 0, true, 1}},
+        {{1, 0, false, 0}},
+    };
+    cfg.opt.timeoutBase = 1;
+    cfg.opt.maxRetries = 1;
+    ExploreResult res = Explorer(cfg).explore();
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_FALSE(res.budgetExhausted);
+}
+
+TEST(Verify, CrashConfigStaysClean)
+{
+    // One budgeted crash with the timeout/suspicion machinery on.
+    // The suspect-retry loop makes the full space unbounded, so
+    // this explores under depth and state budgets.
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    cfg.name = "crash";
+    cfg.program = {
+        {{0, 0, true, 1}},
+        {{1, 0, false, 0}},
+    };
+    cfg.opt.crashBudget = 1;
+    cfg.opt.allowRejoin = false;
+    cfg.opt.timeoutBase = 1;
+    cfg.opt.maxRetries = 1;
+    cfg.opt.maxDepth = 40;
+    cfg.opt.maxStates = 30000;
+    ExploreResult res = Explorer(cfg).explore();
+    if (!res.violations.empty()) {
+        ADD_FAILURE() << Explorer::renderViolation(
+            cfg, res.violations[0], res.violations[0].path);
+    }
+}
+
+TEST(Verify, ThreeNodeConfigUnderBudget)
+{
+    VerifyConfig cfg;
+    cfg.name = "B-3cpu";
+    cfg.nodes = 4; // omega network needs a power of two; cpu3 idle
+    cfg.geometry = cache::Geometry{1, 1, 1};
+    cfg.mode = cache::Mode::DistributedWrite;
+    cfg.program = {
+        {{0, 0, true, 7}},
+        {{1, 0, false, 0}},
+        {{2, 0, false, 0}},
+    };
+    cfg.opt.maxStates = 20000;
+    ExploreResult res = Explorer(cfg).explore();
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_GT(res.states, 100u);
+}
+
+TEST(Verify, ReplayReproducesCanonicalState)
+{
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    EngineGateway gw(cfg);
+
+    // Drive a fixed deterministic prefix: always the first enabled
+    // action.
+    std::vector<Action> taken;
+    for (int i = 0; i < 6; ++i) {
+        auto acts = gw.enabledActions();
+        if (acts.empty())
+            break;
+        gw.apply(acts[0]);
+        taken.push_back(acts[0]);
+    }
+    auto bytes = gw.canonical();
+
+    EngineGateway replay(cfg);
+    for (const Action &a : taken)
+        ASSERT_TRUE(replay.applyIfEnabled(a));
+    EXPECT_EQ(bytes, replay.canonical());
+}
+
+TEST(Verify, ActionEnumerationIsStable)
+{
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    EngineGateway gw(cfg);
+    auto a = gw.enabledActions();
+    auto b = gw.enabledActions();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_EQ(a[i].fp, b[i].fp);
+    }
+    // Initially only the two Issue actions are enabled.
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a[0].kind, ActionKind::Issue);
+    EXPECT_EQ(a[1].kind, ActionKind::Issue);
+}
+
+TEST(Verify, CanonicalDropsAbsoluteTime)
+{
+    // Two engines reaching the same protocol state along action
+    // sequences of different length (extra enumeration-only churn
+    // is impossible, so compare a state to itself after a reset
+    // plus replay -- ticks differ, canonical bytes must not).
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    EngineGateway gw(cfg);
+    auto first = gw.canonical();
+    gw.reset();
+    EXPECT_EQ(first, gw.canonical());
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Model-checker negative test: a deliberately broken engine variant.
+ *
+ * This binary compiles its own copy of the engine translation unit
+ * with MSCP_FAULT_SEAM defined, which adds a runtime switch
+ * (g_faultSeam) that makes a DW-mode owner serving a read forward
+ * "forget" to record the reader in its present vector. A later
+ * distributed write then skips that copy and the reader observes a
+ * stale value. The checker must find this, minimize it, and render
+ * a counterexample byte-identical to the checked-in golden file.
+ *
+ * Including the .cc here (instead of linking libmscp_proto's copy)
+ * keeps the production object seam-free: the archive member is never
+ * pulled because every engine symbol is already defined by this
+ * object. Exploration and minimization are sequential and never
+ * consult MSCP_THREADS, so the golden bytes are identical no matter
+ * what thread count the surrounding suite runs with.
+ *
+ * Regenerate the golden after an intentional checker/engine change:
+ *   MSCP_UPDATE_GOLDEN=1 ./test_verify_broken
+ */
+
+#define MSCP_FAULT_SEAM 1
+#include "proto/concurrent.cc"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/trace.hh"
+#include "verify/explorer.hh"
+#include "verify/state.hh"
+
+using namespace mscp;
+using verify::Action;
+using verify::Explorer;
+using verify::ExploreResult;
+using verify::VerifyConfig;
+
+namespace
+{
+
+/** RAII for the fault switch (other tests in this binary, if any,
+ *  must see a healthy engine). */
+class SeamOn
+{
+  public:
+    SeamOn() { proto::g_faultSeam = true; }
+    ~SeamOn() { proto::g_faultSeam = false; }
+};
+
+/** The 2-node acceptance config A (DW): writer cpu0, reader cpu1.
+ *  The seam needs a read forward between two writes -- exactly what
+ *  interleavings of this program produce. */
+VerifyConfig
+seamConfig()
+{
+    VerifyConfig cfg;
+    cfg.name = "A-dw-seam";
+    cfg.nodes = 2;
+    cfg.geometry = cache::Geometry{1, 1, 1};
+    cfg.mode = cache::Mode::DistributedWrite;
+    cfg.program = {
+        {{0, 0, true, 1}, {0, 0, true, 2}},
+        {{1, 0, false, 0}, {1, 0, false, 0}},
+    };
+    return cfg;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(MSCP_VERIFY_GOLDEN_DIR) +
+           "/golden_counterexample.txt";
+}
+
+/** Explore the seamed config and render its minimized
+ *  counterexample. */
+std::string
+findAndRender()
+{
+    VerifyConfig cfg = seamConfig();
+    Explorer ex(cfg);
+    ExploreResult res = ex.explore();
+    if (res.violations.empty())
+        return {};
+    std::vector<Action> min = ex.minimize(res.violations[0]);
+    return Explorer::renderViolation(cfg, res.violations[0], min);
+}
+
+} // anonymous namespace
+
+TEST(VerifyBroken, SeamOffStaysClean)
+{
+    // Same binary, switch off: the seam itself must be inert.
+    ExploreResult res = Explorer(seamConfig()).explore();
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_TRUE(res.complete);
+}
+
+TEST(VerifyBroken, SeamProducesMinimizedGoldenCounterexample)
+{
+    SeamOn seam;
+    std::string rendered = findAndRender();
+    ASSERT_FALSE(rendered.empty())
+        << "seamed engine explored clean; the checker lost its "
+           "ability to catch a dropped present bit";
+
+    if (std::getenv("MSCP_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        out << rendered;
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << goldenPath()
+        << " (regenerate with MSCP_UPDATE_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden.str(), rendered)
+        << "counterexample drifted from the checked-in golden; if "
+           "the change is intentional, regenerate with "
+           "MSCP_UPDATE_GOLDEN=1";
+}
+
+TEST(VerifyBroken, CounterexampleIsDeterministic)
+{
+    SeamOn seam;
+    std::string a = findAndRender();
+    std::string b = findAndRender();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(VerifyBroken, CounterexampleReplaysIntoChromeTrace)
+{
+    SeamOn seam;
+    VerifyConfig cfg = seamConfig();
+    Explorer ex(cfg);
+    ExploreResult res = ex.explore();
+    ASSERT_FALSE(res.violations.empty());
+    std::vector<Action> min = ex.minimize(res.violations[0]);
+
+    std::ostringstream os;
+    Explorer::exportTrace(cfg, min, os);
+    std::string json = os.str();
+    // Always a syntactically complete trace_event array; the replay
+    // markers only exist when tracing is compiled in.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '[');
+    if (traceCompiledIn()) {
+        EXPECT_NE(json.find("verify_action"), std::string::npos);
+        EXPECT_NE(json.find("\"ph\""), std::string::npos);
+    }
+}

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Layout and tracing-discipline lint (CI: pod-lint job).
+
+Grep-based structural checks over src/ that guard the contracts the
+hot paths rely on but the compiler only partially enforces:
+
+ 1. TraceRecord stays a packed, fixed-width POD: every member uses a
+    fixed-size type and the 32-byte static_assert is present. The
+    trace ring's zero-allocation claim and the Chrome exporter's
+    math both assume this layout.
+
+ 2. Tracer::record() compiles to nothing under MSCP_TRACE_DISABLED:
+    the body must be inside an '#ifndef MSCP_TRACE_DISABLED' region
+    so the trace-off build's benches stay byte-identical for free.
+
+ 3. Tracer record call sites stay guarded: 'tracer->record(' must
+    sit under an 'if (tracer' null check (the tracer pointer is the
+    opt-in), and direct '_tracer.record(' calls are allowed only
+    inside the engine's trace() wrapper, which stamps the current
+    tick exactly once. Everything else must route through trace().
+
+ 4. Msg keeps its fixed scalar layout plus exactly one dynamic
+    member (the block-payload vector): the message-arena recycler
+    and the model checker's canonical serializer both enumerate its
+    fields explicitly and must be updated in lockstep with any new
+    member -- flag the drift here, not in a debugger.
+
+ 5. LatencySink stays an InlineCallback alias and InlineFunction's
+    trivially-copyable / trivially-destructible static_asserts
+    remain: latency sampling runs inside the event loop and must
+    never allocate.
+
+Run from the repo root:  python3 tools/lint_pods.py
+Exit status 0 iff every check passes; findings go to stderr.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+errors = []
+
+
+def fail(path, line, msg):
+    errors.append(f"{path.relative_to(ROOT)}:{line}: {msg}")
+
+
+def extract_struct(text, name):
+    """Return (body, first_line_number) of 'struct <name> { ... }'."""
+    m = re.search(r"struct\s+" + name + r"\s*\n?\s*\{", text)
+    if not m:
+        return None, 0
+    depth = 0
+    start = text.index("{", m.start())
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                body = text[start + 1:i]
+                line = text.count("\n", 0, start) + 1
+                return body, line
+    return None, 0
+
+
+def member_lines(body):
+    """Yield (offset, type, rest) for each 'Type name...;' line."""
+    for off, raw in enumerate(body.splitlines()):
+        line = raw.split("//")[0].split("///")[0].strip()
+        m = re.match(
+            r"([A-Za-z_][\w:<>,\s]*?)\s+([A-Za-z_]\w*)\s*(=[^;]*)?;",
+            line)
+        if m:
+            yield off, m.group(1).strip(), m.group(2)
+
+
+def check_trace_record():
+    path = SRC / "sim" / "trace.hh"
+    text = path.read_text()
+    body, line = extract_struct(text, "TraceRecord")
+    if body is None:
+        fail(path, 1, "struct TraceRecord not found")
+        return
+    fixed = {"Tick", "std::uint64_t", "std::uint32_t",
+             "std::uint16_t", "std::uint8_t"}
+    for off, mtype, name in member_lines(body):
+        if mtype not in fixed:
+            fail(path, line + off,
+                 f"TraceRecord member '{name}' has non-fixed-width "
+                 f"type '{mtype}' (32-byte POD contract)")
+    if not re.search(r"static_assert\(sizeof\(TraceRecord\)\s*==\s*32",
+                     text):
+        fail(path, line, "missing sizeof(TraceRecord) == 32 "
+                         "static_assert")
+
+    rec = text.find("record(TraceEvent kind")
+    if rec < 0:
+        fail(path, 1, "Tracer::record() not found")
+    else:
+        window = text[rec:rec + 600]
+        if "#ifndef MSCP_TRACE_DISABLED" not in window:
+            fail(path, text.count("\n", 0, rec) + 1,
+                 "Tracer::record() body is not compiled out under "
+                 "MSCP_TRACE_DISABLED")
+
+
+def check_record_call_sites():
+    for path in sorted(SRC.rglob("*.cc")) + sorted(SRC.rglob("*.hh")):
+        lines = path.read_text().splitlines()
+        for i, raw in enumerate(lines):
+            code = raw.split("//")[0]
+            if "tracer->record(" in code:
+                ctx = "\n".join(lines[max(0, i - 6):i + 1])
+                if "if (tracer" not in ctx:
+                    fail(path, i + 1,
+                         "tracer->record() without an 'if (tracer' "
+                         "guard in the preceding lines")
+            if "_tracer.record(" in code:
+                if path != SRC / "sim" / "trace.hh":
+                    ctx = "\n".join(lines[max(0, i - 10):i + 1])
+                    if "void trace(TraceEvent" not in ctx:
+                        fail(path, i + 1,
+                             "_tracer.record() outside the trace() "
+                             "wrapper; route tracing through trace()")
+
+
+def check_msg():
+    path = SRC / "proto" / "concurrent.hh"
+    text = path.read_text()
+    body, line = extract_struct(text, "Msg")
+    if body is None:
+        fail(path, 1, "struct Msg not found")
+        return
+    scalar = {"MsgType", "NodeId", "bool", "BlockId", "unsigned",
+              "std::uint64_t", "std::uint32_t", "cache::StateField"}
+    dynamic = []
+    for off, mtype, name in member_lines(body):
+        if mtype.startswith("std::vector"):
+            dynamic.append((off, mtype, name))
+        elif mtype not in scalar:
+            fail(path, line + off,
+                 f"Msg member '{name}' has unexpected type "
+                 f"'{mtype}'; the arena recycler and the verify "
+                 f"serializer enumerate Msg fields explicitly")
+    if len(dynamic) != 1 or dynamic[0][2] != "data":
+        fail(path, line,
+             f"Msg must have exactly one dynamic member "
+             f"(std::vector data), found "
+             f"{[d[2] for d in dynamic]}")
+
+
+def check_latency_sink():
+    path = SRC / "proto" / "concurrent.hh"
+    if not re.search(r"using\s+LatencySink\s*=\s*InlineCallback<",
+                     path.read_text()):
+        fail(path, 1, "LatencySink is no longer an InlineCallback "
+                      "alias (zero-allocation sampling contract)")
+    inl = SRC / "sim" / "inline_function.hh"
+    text = inl.read_text()
+    for trait in ("is_trivially_copyable_v",
+                  "is_trivially_destructible_v"):
+        if trait not in text:
+            fail(inl, 1, f"InlineFunction lost its {trait} "
+                         f"static_assert")
+
+
+def main():
+    check_trace_record()
+    check_record_call_sites()
+    check_msg()
+    check_latency_sink()
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"lint_pods: {len(errors)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_pods: all layout and tracing checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
