@@ -13,13 +13,25 @@
  * All grid points are independent seeded runs fanned over the
  * sweep runner's thread pool (MSCP_THREADS); the printed table is
  * bit-identical for any thread count.
+ *
+ * The closing section exercises the orthogonal axis: one large
+ * 256-port timed run sharded *internally* by the conservative PDES
+ * engine (timed/pdes_traffic.hh), executed serially and at 1/2/4/8
+ * workers. Stdout carries only deterministic statistics -- byte
+ * identical for every worker count, including MSCP_PDES_THREADS,
+ * which the CI diff gate relies on -- while wall time and
+ * events/sec for each worker count go to the JSON trajectory.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/bench_json.hh"
 #include "core/sweep.hh"
+#include "timed/pdes_traffic.hh"
 
 using namespace mscp;
 using core::EngineKind;
@@ -51,6 +63,46 @@ point(EngineKind engine, double w, unsigned tasks)
     return pt;
 }
 
+timed::PdesTrafficConfig
+pdesConfig()
+{
+    timed::PdesTrafficConfig cfg;
+    cfg.numPorts = 256;
+    cfg.numShards = 16;
+    cfg.numBlocks = 256;
+    cfg.cacheCapacity = 8;
+    cfg.writeFraction = 0.3;
+    cfg.refsPerNode = 2000;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/**
+ * Run the sharded timed system once and record wall time and
+ * throughput under @p label in the bench JSON. Stdout is not
+ * touched here: timing stays out of the byte-stable table.
+ */
+timed::PdesTrafficResult
+timedPdesRun(core::BenchJson &bench, const std::string &label,
+             int num_threads, double *events_per_sec = nullptr)
+{
+    timed::PdesTrafficSystem sys(pdesConfig());
+    const auto t0 = std::chrono::steady_clock::now();
+    const timed::PdesTrafficResult r = num_threads < 0
+        ? sys.runSerial()
+        : sys.run(static_cast<unsigned>(num_threads));
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+    const double eps =
+        secs > 0 ? static_cast<double>(r.events) / secs : 0.0;
+    bench.metric(("pdes_" + label + "_secs").c_str(), secs);
+    bench.metric(("pdes_" + label + "_events_per_sec").c_str(), eps);
+    if (events_per_sec)
+        *events_per_sec = eps;
+    return r;
+}
+
 } // anonymous namespace
 
 int
@@ -76,7 +128,6 @@ main()
                 static_cast<unsigned long long>(refsPerRun));
 
     std::size_t idx = 0;
-    std::uint64_t events = 0;
     for (unsigned tasks : taskCounts) {
         std::printf("\n## n = %u sharing tasks\n", tasks);
         std::printf("%6s %10s %10s %10s %10s %10s %10s %10s\n",
@@ -91,7 +142,6 @@ main()
                                 static_cast<unsigned long long>(
                                     r.valueErrors));
                 cols[c] = r.bitsPerRef();
-                events += r.events;
             }
             std::printf("%6.2f %10.1f %10.1f %10.1f %10.1f %10.1f "
                         "%10.1f %10.1f\n",
@@ -105,7 +155,45 @@ main()
                 "adaptive tracks the lower envelope of the\n"
                 "# two-mode pair and stays below no-cache.\n");
 
+    // ---- PDES intra-run scaling: one big timed run, sharded ----
+    // Serial reference plus the 1/2/4/8-worker trajectory, then one
+    // run at the environment default (MSCP_PDES_THREADS) whose
+    // deterministic stats are the ones printed. Everything below
+    // must be byte-identical for every worker count.
+    const timed::PdesTrafficConfig pcfg = pdesConfig();
+    std::printf("\n# PDES intra-run scaling: %u-port sharded timed "
+                "run (%u shards, %llu refs/node, w=%.2f)\n",
+                pcfg.numPorts, pcfg.numShards,
+                static_cast<unsigned long long>(pcfg.refsPerNode),
+                pcfg.writeFraction);
+
+    double serialEps = 0, eps8 = 0;
+    const timed::PdesTrafficResult serial =
+        timedPdesRun(bench, "serial", -1, &serialEps);
+    bool identical = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const timed::PdesTrafficResult r = timedPdesRun(
+            bench, "t" + std::to_string(threads),
+            static_cast<int>(threads),
+            threads == 8 ? &eps8 : nullptr);
+        identical = identical && r == serial;
+    }
+    bench.metric("pdes_speedup_8t",
+                 serialEps > 0 ? eps8 / serialEps : 0.0);
+
+    timed::PdesTrafficSystem sys(pcfg);
+    const timed::PdesTrafficResult dflt = sys.run();
+    identical = identical && dflt == serial;
+    std::ostringstream stats;
+    sys.dumpStats(stats);
+    std::printf("%s", stats.str().c_str());
+    std::printf("# sharded == serial across 1/2/4/8/default "
+                "workers: %s\n", identical ? "yes" : "NO -- "
+                "DETERMINISM BROKEN");
+
+    std::uint64_t events = core::totalEvents(results);
+    events += serial.events * 6; // serial + 4 scan runs + default
     bench.latencies(core::mergeLatencies(results));
-    bench.finish(points.size(), events);
-    return 0;
+    bench.finish(points.size() + 6, events);
+    return identical ? 0 : 1;
 }

@@ -64,6 +64,9 @@ runBaseline(const SweepPoint &pt)
     out.networkBits = r.networkBits;
     out.messages = r.messages;
     out.valueErrors = r.valueErrors;
+    // Replay engines execute one step per reference; report that as
+    // the point's event count so bench throughput stays meaningful.
+    out.events = r.refs;
     return out;
 }
 
@@ -84,6 +87,7 @@ runTwoMode(const SweepPoint &pt, PolicyKind policy)
     out.networkBits = r.networkBits;
     out.messages = r.messages;
     out.valueErrors = r.valueErrors;
+    out.events = r.refs;
     return out;
 }
 
@@ -101,6 +105,7 @@ runAtomic(const SweepPoint &pt)
     out.networkBits = r.networkBits;
     out.messages = proto.messageCounters().totalCount();
     out.valueErrors = r.valueErrors;
+    out.events = r.refs;
     return out;
 }
 
@@ -251,6 +256,15 @@ mergeLatencies(const std::vector<SweepResult> &results)
     for (const SweepResult &r : results)
         all.merge(r.latencies);
     return all;
+}
+
+std::uint64_t
+totalEvents(const std::vector<SweepResult> &results)
+{
+    std::uint64_t events = 0;
+    for (const SweepResult &r : results)
+        events += r.events;
+    return events;
 }
 
 std::vector<SweepResult>

@@ -113,11 +113,19 @@ struct SweepResult
     Bits networkBits = 0;
     std::uint64_t messages = 0;
     std::uint64_t valueErrors = 0;
+    /**
+     * Discrete simulation steps this point executed: event-queue
+     * events for the event-driven concurrent engine, replayed
+     * references for the atomic engines (each reference is one
+     * step of their replay loop). Never zero for a completed run,
+     * so bench JSON events/events_per_sec stay meaningful for
+     * every engine column.
+     */
+    std::uint64_t events = 0;
     /** @{ concurrent engine only (zero otherwise) */
     Tick makespan = 0;
     double avgReadLatency = 0;
     double avgWriteLatency = 0;
-    std::uint64_t events = 0;
     std::uint64_t homeQueued = 0;
     std::uint64_t pointerNacks = 0;
     /** @} */
@@ -176,10 +184,21 @@ SweepResult runPointTraced(const SweepPoint &pt,
  */
 OpLatencies mergeLatencies(const std::vector<SweepResult> &results);
 
+/** Sum of every point's executed simulation steps (bench JSON
+ *  events field). */
+std::uint64_t totalEvents(const std::vector<SweepResult> &results);
+
 /**
  * Execute every point, fanned over @p num_threads workers.
  * results[i] corresponds to points[i] and is bit-identical for any
  * thread count.
+ *
+ * Threading knobs are orthogonal: MSCP_THREADS (ThreadPool) fans
+ * independent points across workers, while MSCP_PDES_THREADS
+ * (sim/pdes.hh) shards a single timed run internally. A sweep of
+ * PDES-driven points may use both -- each point's run is itself
+ * deterministic for any PDES worker count, so the sweep contract
+ * is unchanged.
  */
 std::vector<SweepResult> runSweep(const std::vector<SweepPoint> &points,
                                   unsigned num_threads =

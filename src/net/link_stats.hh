@@ -65,6 +65,16 @@ class LinkStats
     /** Highest single-link bit count (hot-spot measure). */
     Bits maxLinkBits() const;
 
+    /**
+     * Add @p other's counters into this object (same shape
+     * required). Plain addition, so merging per-shard accumulators
+     * is commutative and associative: a PDES run's merged link
+     * statistics are bit-identical to the serial run's, whatever
+     * order the shards finished in (same discipline as
+     * core::LatencyHistogram::merge).
+     */
+    void merge(const LinkStats &other);
+
     unsigned numLevels() const
     {
         return static_cast<unsigned>(perLevel.size());

@@ -58,6 +58,28 @@ class TimedNetwork
     }
 
     /**
+     * Guaranteed lookahead for conservative PDES partitioning
+     * (sim/pdes.hh): the zero-load latency of a minimum-size
+     * message, i.e. the earliest any message injected at tick t can
+     * reach another port. Every link serializes at least one tick
+     * and every hop adds the switch delay, so a delivery crosses
+     * hopCount() * (1 + hopLatency) ticks even when every link is
+     * idle. The static form serves models that share the formula
+     * before a network instance exists.
+     */
+    static Tick
+    zeroLoadLookahead(unsigned hop_count, Tick hop_latency)
+    {
+        return static_cast<Tick>(hop_count) * (1 + hop_latency);
+    }
+
+    Tick
+    minCrossLatency() const
+    {
+        return zeroLoadLookahead(net.hopCount(), hopLatency);
+    }
+
+    /**
      * Send a traced message tree; schedules one callback per
      * delivery at its contention-aware arrival tick. The trace is
      * also committed to the functional link statistics.

@@ -79,6 +79,13 @@ EventQueue::pruneTop()
 EventId
 EventQueue::schedule(InlineFunction cb, Tick when)
 {
+    return scheduleKeyed(std::move(cb), when, nextSeq);
+}
+
+EventId
+EventQueue::scheduleKeyed(InlineFunction cb, Tick when,
+                          std::uint64_t key)
+{
     panic_if(when < _curTick,
              "scheduling event in the past (when=%llu cur=%llu)",
              static_cast<unsigned long long>(when),
@@ -88,7 +95,7 @@ EventQueue::schedule(InlineFunction cb, Tick when)
         tracer->record(TraceEvent::EvSchedule, _curTick, 0, 0, 0,
                        id, when);
     }
-    push(Node{when, id, std::move(cb)});
+    push(Node{when, key, id, std::move(cb)});
     pending.insert(id);
     return id;
 }
@@ -99,7 +106,26 @@ EventQueue::deschedule(EventId id)
     if (!pending.erase(id))
         return false;
     ++tombstones;
+    // Cancel-heavy users (timer wheels, the per-shard PDES queues)
+    // would otherwise let dead slots dominate the heap and every
+    // sift pay for them; rebuilding at the half-full mark keeps the
+    // amortized cost per deschedule constant.
+    if (tombstones > heap.size() / 2)
+        compact();
     return true;
+}
+
+void
+EventQueue::compact()
+{
+    std::erase_if(heap, [this](const Node &n) {
+        return !pending.contains(n.seq);
+    });
+    tombstones = 0;
+    if (heap.size() > 1) {
+        for (std::size_t i = (heap.size() - 2) / Arity + 1; i-- > 0;)
+            siftDown(i);
+    }
 }
 
 Tick

@@ -6,13 +6,23 @@
  * monotonically increasing sequence number breaks ties), which keeps
  * simulations reproducible across runs and platforms.
  *
- * Implementation: a 4-ary min-heap ordered by (tick, seq). The heap
- * node embeds the callback (an InlineFunction, so small captures
+ * Implementation: a 4-ary min-heap ordered by (tick, key, seq). The
+ * heap node embeds the callback (an InlineFunction, so small captures
  * never touch the heap allocator). deschedule() is lazy: the event's
  * id is removed from the pending-id set and the heap node becomes a
  * tombstone that is skipped and reclaimed when it reaches the top.
  * A descheduled event never fires, and size() never counts
- * tombstones.
+ * tombstones. When tombstones outnumber live events the heap is
+ * compacted in place, so a queue used as a cancel-heavy timer wheel
+ * (and the smaller per-shard queues of the PDES engine) stays
+ * proportional to its live population.
+ *
+ * Same-tick ordering: schedule() uses the event's own sequence
+ * number as its key, so events at one tick fire in schedule order.
+ * scheduleKeyed() lets the caller impose an explicit total order on
+ * same-tick events instead; the PDES engine uses this to make a
+ * partitioned run execute same-tick events in exactly the order the
+ * single global queue would have (DESIGN.md 5h).
  */
 
 #ifndef MSCP_SIM_EVENTQ_HH
@@ -75,6 +85,16 @@ class EventQueue
      */
     EventId schedule(InlineFunction cb, Tick when);
 
+    /**
+     * Schedule with an explicit same-tick ordering key. Events at
+     * the same tick fire in ascending @p key order (ties broken by
+     * schedule order), independently of when they were scheduled.
+     * schedule() is equivalent to scheduleKeyed() with the event's
+     * own sequence number as the key.
+     */
+    EventId scheduleKeyed(InlineFunction cb, Tick when,
+                          std::uint64_t key);
+
     /** Schedule a callback @p delay ticks in the future. */
     EventId
     scheduleIn(InlineFunction cb, Tick delay)
@@ -125,17 +145,28 @@ class EventQueue
      */
     void setTracer(Tracer *t) { tracer = t; }
 
+    /**
+     * Heap slots currently occupied by descheduled events
+     * (diagnostic; exercised by the compaction property test).
+     */
+    std::size_t tombstoneSlots() const { return tombstones; }
+
   private:
     struct Node
     {
         Tick when;
+        std::uint64_t key;
         std::uint64_t seq;
         InlineFunction cb;
 
         bool
         before(const Node &o) const
         {
-            return when != o.when ? when < o.when : seq < o.seq;
+            if (when != o.when)
+                return when < o.when;
+            if (key != o.key)
+                return key < o.key;
+            return seq < o.seq;
         }
     };
 
@@ -146,6 +177,8 @@ class EventQueue
     Node popTop();
     /** Drop tombstoned nodes off the top of the heap. */
     void pruneTop();
+    /** Rebuild the heap without its tombstoned slots. */
+    void compact();
 
     Tracer *tracer = nullptr;
     Tick _curTick = 0;

@@ -1,0 +1,164 @@
+#include "pdes.hh"
+
+#include <algorithm>
+
+namespace mscp
+{
+
+PdesExecutor::PdesExecutor(PdesClient &client, unsigned num_shards,
+                           Tick lookahead,
+                           std::size_t mailbox_capacity)
+    : client(client), shards(num_shards), _lookahead(lookahead)
+{
+    panic_if(shards == 0, "PDES needs at least one shard");
+    panic_if(_lookahead == 0,
+             "conservative PDES needs a positive lookahead");
+    mailboxes.reserve(static_cast<std::size_t>(shards) * shards);
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(shards) * shards; ++i)
+        mailboxes.push_back(
+            std::make_unique<SpscMailbox>(mailbox_capacity));
+    nextTicks.resize(shards);
+    windowEnd.resize(shards);
+    drainScratch.resize(shards);
+    integrated.resize(shards, 0);
+}
+
+void
+PdesExecutor::post(unsigned src_shard, unsigned dst_shard,
+                   const MailboxSlot &slot)
+{
+    panic_if(src_shard == dst_shard,
+             "post() is for cross-shard events; schedule local "
+             "events directly");
+    panic_if(slot.tick < windowEnd[src_shard].v,
+             "lookahead violation: shard %u posted tick %llu inside "
+             "its own window (end %llu); the model's minimum "
+             "cross-shard latency is overstated",
+             src_shard,
+             static_cast<unsigned long long>(slot.tick),
+             static_cast<unsigned long long>(windowEnd[src_shard].v));
+    mailbox(src_shard, dst_shard).push(slot);
+}
+
+void
+PdesExecutor::drainShard(unsigned shard)
+{
+    std::vector<MailboxSlot> &scratch = drainScratch[shard];
+    scratch.clear();
+    // Visiting sources in index order plus a stable sort yields the
+    // (tick, key, src-shard, push-order) total order the docs
+    // promise -- the same order a global heap would have executed
+    // these events in.
+    for (unsigned s = 0; s < shards; ++s) {
+        if (s != shard)
+            mailbox(s, shard).drainInto(scratch);
+    }
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const MailboxSlot &a, const MailboxSlot &b) {
+                         return a.tick != b.tick ? a.tick < b.tick
+                                                 : a.key < b.key;
+                     });
+    for (const MailboxSlot &slot : scratch)
+        client.shardIntegrate(shard, slot);
+    integrated[shard] += scratch.size();
+}
+
+void
+PdesExecutor::workerLoop(unsigned worker, unsigned num_workers)
+{
+    auto record = [this](std::exception_ptr e) {
+        {
+            std::lock_guard<std::mutex> g(errorLock);
+            if (!error)
+                error = e;
+        }
+        failed.store(true, std::memory_order_release);
+    };
+
+    while (true) {
+        // Phase A: integrate last window's cross-shard traffic and
+        // publish every owned shard's next local tick.
+        if (!failed.load(std::memory_order_acquire)) {
+            try {
+                for (unsigned s = worker; s < shards;
+                     s += num_workers) {
+                    drainShard(s);
+                    nextTicks[s].v = client.shardNextTick(s);
+                }
+            } catch (...) {
+                record(std::current_exception());
+            }
+        }
+        barrier->arriveAndWait();
+        if (failed.load(std::memory_order_acquire))
+            break;
+
+        // Every worker computes the same global minimum (read-only
+        // after the barrier), so no coordinator round is needed.
+        Tick m = maxTick;
+        for (unsigned s = 0; s < shards; ++s)
+            m = std::min(m, nextTicks[s].v);
+        if (m == maxTick)
+            break; // all shards idle, all mailboxes drained
+        const Tick w_end =
+            maxTick - m > _lookahead ? m + _lookahead : maxTick;
+        if (worker == 0)
+            ++windows;
+
+        // Phase B: execute the window; cross-shard sends go to the
+        // mailboxes and are integrated after the next barrier.
+        try {
+            for (unsigned s = worker; s < shards; s += num_workers) {
+                windowEnd[s].v = w_end;
+                client.shardExecute(s, w_end);
+            }
+        } catch (...) {
+            record(std::current_exception());
+        }
+        barrier->arriveAndWait();
+    }
+}
+
+PdesDiag
+PdesExecutor::run(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = 1;
+    if (num_threads > shards)
+        num_threads = shards;
+
+    WindowBarrier b(num_threads);
+    barrier = &b;
+    failed.store(false, std::memory_order_relaxed);
+    error = nullptr;
+    windows = 0;
+    std::fill(integrated.begin(), integrated.end(), 0);
+    std::fill(windowEnd.begin(), windowEnd.end(), PaddedTick{});
+
+    if (num_threads == 1) {
+        workerLoop(0, 1);
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(num_threads - 1);
+        for (unsigned t = 1; t < num_threads; ++t)
+            workers.emplace_back(&PdesExecutor::workerLoop, this, t,
+                                 num_threads);
+        workerLoop(0, num_threads);
+        for (std::thread &t : workers)
+            t.join();
+    }
+    barrier = nullptr;
+    if (error)
+        std::rethrow_exception(error);
+
+    PdesDiag diag;
+    diag.windows = windows;
+    for (unsigned s = 0; s < shards; ++s)
+        diag.crossShard += integrated[s];
+    for (const auto &mb : mailboxes)
+        diag.spills += mb->spills();
+    return diag;
+}
+
+} // namespace mscp

@@ -34,6 +34,24 @@ class ThreadPool
 {
   public:
     /**
+     * Parse a thread-count environment knob. @return the variable's
+     * value if set to a positive integer, else 0 (meaning "unset").
+     * Shared by MSCP_THREADS (sweep-level fan-out) and
+     * MSCP_PDES_THREADS (intra-run PDES workers, sim/pdes.hh); the
+     * two knobs are orthogonal and multiply.
+     */
+    static unsigned
+    envThreads(const char *var)
+    {
+        if (const char *env = std::getenv(var)) {
+            long v = std::atol(env);
+            if (v >= 1)
+                return static_cast<unsigned>(v);
+        }
+        return 0;
+    }
+
+    /**
      * Number of workers to use by default: the MSCP_THREADS
      * environment variable if set, else the hardware concurrency
      * (at least 1).
@@ -41,11 +59,8 @@ class ThreadPool
     static unsigned
     defaultThreads()
     {
-        if (const char *env = std::getenv("MSCP_THREADS")) {
-            long v = std::atol(env);
-            if (v >= 1)
-                return static_cast<unsigned>(v);
-        }
+        if (unsigned v = envThreads("MSCP_THREADS"))
+            return v;
         unsigned hw = std::thread::hardware_concurrency();
         return hw ? hw : 1;
     }

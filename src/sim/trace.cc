@@ -1,5 +1,6 @@
 #include "trace.hh"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 #include <tuple>
@@ -258,6 +259,34 @@ void
 exportChromeTrace(std::ostream &os, const Tracer &tracer)
 {
     exportChromeTrace(os, tracer.snapshot());
+}
+
+std::vector<TraceRecord>
+mergeTraceRecords(const std::vector<const Tracer *> &tracers)
+{
+    std::vector<TraceRecord> merged;
+    std::size_t total = 0;
+    for (const Tracer *t : tracers)
+        total += t ? t->size() : 0;
+    merged.reserve(total);
+    for (const Tracer *t : tracers) {
+        if (t)
+            t->forEach([&](const TraceRecord &r) {
+                merged.push_back(r);
+            });
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.tick < b.tick;
+                     });
+    return merged;
+}
+
+void
+exportChromeTrace(std::ostream &os,
+                  const std::vector<const Tracer *> &tracers)
+{
+    exportChromeTrace(os, mergeTraceRecords(tracers));
 }
 
 } // namespace mscp

@@ -246,6 +246,22 @@ void exportChromeTrace(std::ostream &os,
 /** Convenience overload exporting a tracer's current snapshot. */
 void exportChromeTrace(std::ostream &os, const Tracer &tracer);
 
+/**
+ * Merge several tracers' held records into one time-ordered stream.
+ * A PDES run gives every shard its own ring (recording stays
+ * single-threaded and lock-free); this splices them back into the
+ * single timeline the serial engine would have produced. The sort
+ * is stable with tracers visited in index order, so ties at one
+ * tick keep (shard, ring) order and the merged stream is
+ * deterministic for any worker count.
+ */
+std::vector<TraceRecord>
+mergeTraceRecords(const std::vector<const Tracer *> &tracers);
+
+/** Convenience overload exporting several rings as one timeline. */
+void exportChromeTrace(std::ostream &os,
+                       const std::vector<const Tracer *> &tracers);
+
 } // namespace mscp
 
 #endif // MSCP_SIM_TRACE_HH

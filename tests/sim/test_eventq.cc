@@ -230,3 +230,99 @@ TEST(EventQueue, HeapOrderUnderManyRandomishTicks)
     for (std::size_t i = 1; i < seen.size(); ++i)
         EXPECT_LE(seen[i - 1], seen[i]);
 }
+
+TEST(EventQueue, KeyedEventsFireInKeyOrderWithinOneTick)
+{
+    // scheduleKeyed() imposes an explicit total order on same-tick
+    // events, independent of schedule order -- the mechanism the
+    // PDES engine uses to replay a partitioned run in the global
+    // queue's order.
+    EventQueue eq;
+    std::vector<std::uint64_t> order;
+    for (std::uint64_t key : {9u, 2u, 7u, 1u, 5u})
+        eq.scheduleKeyed([&order, key] { order.push_back(key); },
+                         10, key);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 5, 7, 9}));
+}
+
+TEST(EventQueue, KeyedTiesBreakInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleKeyed([&order, i] { order.push_back(i); }, 3, 77);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, KeyOrdersOnlyWithinOneTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleKeyed([&] { order.push_back(1); }, 5, 100);
+    eq.scheduleKeyed([&] { order.push_back(2); }, 6, 1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CompactionBoundsTombstones)
+{
+    // Property test for tombstone compaction: under a deterministic
+    // pseudo-random schedule/deschedule mix, dead slots never exceed
+    // half the heap, live events are never lost, and the surviving
+    // events still fire in order.
+    EventQueue eq;
+    std::vector<EventId> live;
+    std::vector<Tick> fired;
+    std::size_t scheduled = 0, descheduled = 0;
+    std::uint64_t x = 0x243f6a8885a308d3ull;
+    auto rnd = [&x] {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        return x;
+    };
+    for (int i = 0; i < 4000; ++i) {
+        if (live.empty() || rnd() % 3 != 0) {
+            Tick t = 1 + rnd() % 1000;
+            live.push_back(eq.schedule(
+                [&fired, &eq] { fired.push_back(eq.curTick()); }, t));
+            ++scheduled;
+        } else {
+            std::size_t pick = rnd() % live.size();
+            EXPECT_TRUE(eq.deschedule(live[pick]));
+            live[pick] = live.back();
+            live.pop_back();
+            ++descheduled;
+        }
+        // The compaction invariant: deschedule() rebuilds once
+        // tombstones outnumber live events, so at rest dead slots
+        // can never exceed the live population (plus one for the
+        // pre-compaction peak at tiny sizes).
+        EXPECT_LE(eq.tombstoneSlots(), eq.size() + 1);
+        EXPECT_EQ(eq.size(), live.size());
+    }
+    ASSERT_GT(descheduled, 100u);
+    EXPECT_EQ(eq.run(), scheduled - descheduled);
+    EXPECT_EQ(fired.size(), scheduled - descheduled);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+    EXPECT_EQ(eq.tombstoneSlots(), 0u);
+}
+
+TEST(EventQueue, DescheduleHeavyQueueStaysCompact)
+{
+    // Timer-wheel pattern: every scheduled event is cancelled.
+    // Without compaction the heap would grow without bound; with it
+    // the heap tracks the live population.
+    EventQueue eq;
+    for (int round = 0; round < 100; ++round) {
+        std::vector<EventId> ids;
+        for (Tick t = 1; t <= 50; ++t)
+            ids.push_back(eq.schedule([] { FAIL(); }, t + round));
+        for (EventId id : ids)
+            EXPECT_TRUE(eq.deschedule(id));
+        EXPECT_LE(eq.tombstoneSlots(), 51u);
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.run(), 0u);
+}

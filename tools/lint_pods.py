@@ -30,6 +30,11 @@ hot paths rely on but the compiler only partially enforces:
     remain: latency sampling runs inside the event loop and must
     never allocate.
 
+ 6. MailboxSlot stays a fixed-width trivially-copyable POD sized to
+    exactly one 64-byte cache line: PDES cross-shard sends memcpy
+    slots between threads, and the ring's no-false-sharing claim
+    depends on the cache-line size. Both static_asserts must stay.
+
 Run from the repo root:  python3 tools/lint_pods.py
 Exit status 0 iff every check passes; findings go to stderr.
 """
@@ -72,7 +77,8 @@ def member_lines(body):
     for off, raw in enumerate(body.splitlines()):
         line = raw.split("//")[0].split("///")[0].strip()
         m = re.match(
-            r"([A-Za-z_][\w:<>,\s]*?)\s+([A-Za-z_]\w*)\s*(=[^;]*)?;",
+            r"([A-Za-z_][\w:<>,\s]*?)\s+([A-Za-z_]\w*)\s*"
+            r"(\[\d+\])?\s*(=[^;]*)?;",
             line)
         if m:
             yield off, m.group(1).strip(), m.group(2)
@@ -168,11 +174,37 @@ def check_latency_sink():
                          f"static_assert")
 
 
+def check_mailbox_slot():
+    path = SRC / "sim" / "pdes.hh"
+    text = path.read_text()
+    body, line = extract_struct(text, "MailboxSlot")
+    if body is None:
+        fail(path, 1, "struct MailboxSlot not found")
+        return
+    fixed = {"Tick", "std::uint64_t", "std::uint32_t",
+             "std::uint16_t", "std::uint8_t"}
+    for off, mtype, name in member_lines(body):
+        if mtype not in fixed:
+            fail(path, line + off,
+                 f"MailboxSlot member '{name}' has non-fixed-width "
+                 f"type '{mtype}' (cross-thread memcpy contract)")
+    if not re.search(r"static_assert\(sizeof\(MailboxSlot\)\s*==\s*64",
+                     text):
+        fail(path, line, "missing sizeof(MailboxSlot) == 64 "
+                         "static_assert (one cache line)")
+    if not re.search(
+            r"static_assert\("
+            r"std::is_trivially_copyable_v<MailboxSlot>", text):
+        fail(path, line, "missing is_trivially_copyable_v"
+                         "<MailboxSlot> static_assert")
+
+
 def main():
     check_trace_record()
     check_record_call_sites()
     check_msg()
     check_latency_sink()
+    check_mailbox_slot()
     if errors:
         for e in errors:
             print(e, file=sys.stderr)
