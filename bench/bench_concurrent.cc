@@ -96,6 +96,13 @@ main()
                 "# overhead; the protocol's decisions and the "
                 "paper's traffic shapes are unchanged.\n");
 
+    // Observability capture ($MSCP_TRACE_OUT / $MSCP_METRICS_OUT):
+    // re-run the highest-write-fraction concurrent point observed;
+    // stdout stays byte-stable.
+    core::capturePointObservability(
+        point(EngineKind::Concurrent, writeFractions.back()),
+        "concurrent/w0.8");
+
     bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), events);
     return 0;

@@ -20,15 +20,12 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <vector>
 
 #include "core/bench_json.hh"
 #include "core/sweep.hh"
 #include "net/omega_network.hh"
 #include "proto/concurrent.hh"
-#include "sim/logging.hh"
 #include "workload/placement.hh"
 #include "workload/shared_block.hh"
 
@@ -213,21 +210,16 @@ main()
     emitPerClassMasked(bench);
     bench.latencies(core::mergeLatencies(results));
 
-    // Chrome/Perfetto trace capture: re-run one crash+rejoin point
-    // with the tracer forced on so the recovery spans (suspect ->
-    // rebuild) are visible; stdout stays byte-stable.
-    if (const char *trace_path = std::getenv("MSCP_TRACE_OUT")) {
-        std::ofstream trace_file(trace_path);
-        if (!trace_file) {
-            warn("cannot open trace output file %s", trace_path);
-        } else {
-            core::SweepPoint traced = point(rows[2], 1);
-            // The kill fires early in the run; keep the whole
-            // timeline so the recovery spans survive the ring.
-            traced.traceCapacity = 1 << 20;
-            core::runPointTraced(traced, trace_file);
-        }
-    }
+    // Observability capture: re-run one crash+rejoin point with the
+    // tracer and/or windowed metrics forced on ($MSCP_TRACE_OUT /
+    // $MSCP_METRICS_OUT) so the recovery spans (suspect -> rebuild)
+    // and gauges are visible; stdout stays byte-stable.
+    core::SweepPoint observed = point(rows[2], 1);
+    // The kill fires early in the run; keep the whole timeline so
+    // the recovery spans survive the ring.
+    observed.traceCapacity = 1 << 20;
+    core::capturePointObservability(observed,
+                                    "crash_soak/mid+rejoin");
 
     bench.finish(points.size(), events);
     return 0;

@@ -20,13 +20,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <vector>
 
 #include "core/bench_json.hh"
 #include "core/sweep.hh"
-#include "sim/logging.hh"
 
 using namespace mscp;
 using core::EngineKind;
@@ -173,19 +170,13 @@ main()
                  plainSec > 0 ? armedSec / plainSec : 0.0);
     bench.latencies(core::mergeLatencies(results));
 
-    // Chrome/Perfetto trace capture: re-run one representative
-    // soak point (the all-faults mix) with the tracer forced on
-    // and write its trace_event JSON to $MSCP_TRACE_OUT. Stdout is
-    // untouched, so the table above stays byte-stable.
-    if (const char *trace_path = std::getenv("MSCP_TRACE_OUT")) {
-        std::ofstream trace_file(trace_path);
-        if (!trace_file) {
-            warn("cannot open trace output file %s", trace_path);
-        } else {
-            core::runPointTraced(point(mixes[4], 1, true),
-                                 trace_file);
-        }
-    }
+    // Observability capture: re-run one representative soak point
+    // (the all-faults mix) with the tracer and/or windowed metrics
+    // forced on when $MSCP_TRACE_OUT / $MSCP_METRICS_OUT ask for
+    // them. Stdout is untouched, so the table above stays
+    // byte-stable.
+    core::capturePointObservability(point(mixes[4], 1, true),
+                                    "fault_soak/all");
 
     bench.finish(points.size(), events);
     return 0;

@@ -100,6 +100,13 @@ main()
                 "force-gr) < no-cache; write-once peaks near "
                 "w=0.5\n");
 
+    // Observability capture ($MSCP_TRACE_OUT / $MSCP_METRICS_OUT):
+    // the measured grid runs replay engines, so observe the
+    // message-level engine on the mid-sweep point instead; stdout
+    // stays byte-stable.
+    core::capturePointObservability(
+        point(EngineKind::Concurrent, 0.5), "fig8/w0.5");
+
     bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), 0);
     return 0;

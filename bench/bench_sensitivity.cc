@@ -96,6 +96,14 @@ main()
                 "# model excludes); traffic grows ~log N with "
                 "machine size (longer paths).\n");
 
+    // Observability capture ($MSCP_TRACE_OUT / $MSCP_METRICS_OUT):
+    // the sensitivity grid runs the replay engine, so observe the
+    // message-level engine on the baseline shape instead; stdout
+    // stays byte-stable.
+    core::SweepPoint observed = point(64, 4, 16, 2, 8, 0.2, 4);
+    observed.engine = core::EngineKind::Concurrent;
+    core::capturePointObservability(observed, "sensitivity/base");
+
     bench.latencies(core::mergeLatencies(results));
     bench.finish(points.size(), 0);
     return 0;

@@ -25,12 +25,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/bench_json.hh"
 #include "core/sweep.hh"
+#include "sim/logging.hh"
 #include "timed/pdes_traffic.hh"
 
 using namespace mscp;
@@ -101,6 +103,53 @@ timedPdesRun(core::BenchJson &bench, const std::string &label,
     if (events_per_sec)
         *events_per_sec = eps;
     return r;
+}
+
+/**
+ * Per-window stage-contention summary of a metrics-enabled PDES
+ * run, as a JSON array for the bench record: one entry per sampled
+ * span with the net.stage_wait grid delta summed per stage row.
+ * Spans are downsampled so the array stays at most 32 entries
+ * however long the run was. "[]" when metrics are compiled out.
+ */
+std::string
+stageContentionJson(const timed::PdesTrafficSystem &sys)
+{
+    const std::vector<MetricsWindow> windows = sys.metricsWindows();
+    const MetricSeries *sw = nullptr;
+    for (const MetricSeries &s : sys.metricsRegistry().series())
+        if (s.name == "net.stage_wait")
+            sw = &s;
+    if (!sw || windows.empty())
+        return "[]";
+
+    const std::size_t stride = (windows.size() + 31) / 32;
+    std::string out = "[";
+    const std::vector<std::uint64_t> *prev = nullptr;
+    for (std::size_t i = 0; i < windows.size(); i += stride) {
+        const MetricsWindow &w =
+            windows[std::min(i + stride, windows.size()) - 1];
+        if (out.size() > 1)
+            out += ',';
+        out += "{\"window\":" + std::to_string(w.window) +
+            ",\"end_tick\":" + std::to_string(w.endTick) +
+            ",\"stage_wait\":[";
+        for (std::uint32_t r = 0; r < sw->rows; ++r) {
+            std::uint64_t sum = 0;
+            for (std::uint32_t c = 0; c < sw->cols; ++c) {
+                const std::size_t cell = sw->slot + r * sw->cols + c;
+                sum += w.cells[cell] -
+                    (prev ? (*prev)[cell] : 0); // cumulative cells
+            }
+            if (r)
+                out += ',';
+            out += std::to_string(sum);
+        }
+        out += "]}";
+        prev = &w.cells;
+    }
+    out += ']';
+    return out;
 }
 
 } // anonymous namespace
@@ -181,7 +230,12 @@ main()
     bench.metric("pdes_speedup_8t",
                  serialEps > 0 ? eps8 / serialEps : 0.0);
 
-    timed::PdesTrafficSystem sys(pcfg);
+    // The default-thread run carries the windowed metrics: pure
+    // observation, so its result must still match the serial
+    // reference bit for bit (part of the `identical` gate below).
+    timed::PdesTrafficConfig mcfg = pcfg;
+    mcfg.metricsEnabled = true;
+    timed::PdesTrafficSystem sys(mcfg);
     const timed::PdesTrafficResult dflt = sys.run();
     identical = identical && dflt == serial;
     std::ostringstream stats;
@@ -190,6 +244,22 @@ main()
     std::printf("# sharded == serial across 1/2/4/8/default "
                 "workers: %s\n", identical ? "yes" : "NO -- "
                 "DETERMINISM BROKEN");
+
+    // Per-window stage-contention heatmap summary into the JSON
+    // record only (empty when metrics are compiled out), plus the
+    // full window series to $MSCP_METRICS_OUT when asked. Stdout
+    // above stays byte-stable either way.
+    bench.raw("pdes_stage_contention", stageContentionJson(sys));
+    if (const char *mpath = core::metricsOutPath()) {
+        std::ofstream mf(mpath, std::ios::app);
+        if (!mf) {
+            warn("cannot open metrics output file %s", mpath);
+        } else {
+            exportMetricsJsonLines(mf, sys.metricsRegistry(),
+                                   sys.metricsWindows(), "pdes",
+                                   "sim_traffic/pdes256");
+        }
+    }
 
     std::uint64_t events = core::totalEvents(results);
     events += serial.events * 6; // serial + 4 scan runs + default

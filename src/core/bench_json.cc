@@ -20,6 +20,12 @@ allocationCount()
     return detail::allocTally.load(std::memory_order_relaxed);
 }
 
+const char *
+metricsOutPath()
+{
+    return std::getenv("MSCP_METRICS_OUT");
+}
+
 namespace
 {
 
@@ -67,6 +73,12 @@ void
 BenchJson::note(const char *key, const char *value)
 {
     extras.emplace_back(key, "\"" + jsonEscape(value) + "\"");
+}
+
+void
+BenchJson::raw(const char *key, std::string json)
+{
+    extras.emplace_back(key, std::move(json));
 }
 
 void

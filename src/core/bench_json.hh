@@ -45,6 +45,25 @@ extern std::atomic<std::uint64_t> allocTally;
 /** Heap allocations so far (0 unless the alloc hook is linked). */
 std::uint64_t allocationCount();
 
+/**
+ * Destination for windowed-metrics export, or null when unset: the
+ * value of the MSCP_METRICS_OUT environment variable. Benches that
+ * support metrics open this file for append and write one JSON
+ * Lines record per window via mscp::exportMetricsJsonLines():
+ *
+ *   {"metrics":"<source>","label":"<label>","window":K,
+ *    "end_tick":T,"series":{"<name>":<value>,...}}
+ *
+ * where <source> names the engine ("concurrent", "pdes"), <label>
+ * separates runs sharing a file, K is the window index (ticks
+ * [K*W, (K+1)*W) for window width W), end_tick the first tick NOT
+ * covered, and <value> is a number (counter delta / gauge sample),
+ * a 16-element log2-bucket array (histogram delta), or a nested
+ * row-major array of arrays (grid delta). Like MSCP_BENCH_JSON,
+ * stdout is never touched, so bench tables stay byte-stable.
+ */
+const char *metricsOutPath();
+
 /** Collects bench metadata and appends one JSON-lines entry. */
 class BenchJson
 {
@@ -56,6 +75,9 @@ class BenchJson
     void metric(const char *key, double v);
     void metric(const char *key, std::uint64_t v);
     void note(const char *key, const char *value);
+    /** Attach an already-formatted JSON value (array/object) under
+     *  @p key. The caller owns validity of @p json. */
+    void raw(const char *key, std::string json);
     /**
      * Emit lat_<class>_{count,p50,p95,p99,max} metrics for every
      * operation class in @p lats with at least one sample

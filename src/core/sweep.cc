@@ -1,7 +1,10 @@
 #include "sweep.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <ostream>
 
+#include "core/bench_json.hh"
 #include "proto/checker.hh"
 #include "proto/concurrent.hh"
 #include "proto/dragon.hh"
@@ -10,6 +13,7 @@
 #include "proto/stenstrom.hh"
 #include "proto/write_once.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "workload/placement.hh"
 #include "workload/shared_block.hh"
 
@@ -134,7 +138,9 @@ makeFaultPlan(const SweepPoint &pt)
 }
 
 SweepResult
-runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
+runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr,
+              std::ostream *metrics_out = nullptr,
+              const char *metrics_label = "")
 {
     net::OmegaNetwork net(pt.numPorts);
     proto::ConcurrentParams cp;
@@ -154,6 +160,9 @@ runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
     cp.watchdogAge = pt.watchdogAge;
     cp.traceEnabled = pt.traceEnabled || trace_out != nullptr;
     cp.traceCapacity = pt.traceCapacity;
+    cp.metricsEnabled = pt.metricsEnabled || metrics_out != nullptr;
+    cp.metricsWindow = pt.metricsWindow;
+    cp.metricsCapacity = pt.metricsCapacity;
     proto::ConcurrentProtocol proto(net, cp);
     SweepResult out;
     // The sink captures &out.latencies; out is NRVO'd in place, so
@@ -165,7 +174,14 @@ runConcurrent(const SweepPoint &pt, std::ostream *trace_out = nullptr)
     auto stream = makeStream(pt);
     proto::ConcurrentRunResult r = proto.run(stream);
     if (trace_out)
-        exportChromeTrace(*trace_out, proto.tracer());
+        exportChromeTrace(*trace_out, proto.tracer().snapshot(),
+                          metricsCounterTrackEvents(
+                              proto.metricsRegistry(),
+                              proto.metricsWindows()));
+    if (metrics_out)
+        exportMetricsJsonLines(*metrics_out, proto.metricsRegistry(),
+                               proto.metricsWindows(), "concurrent",
+                               metrics_label);
     out.refs = r.refs;
     out.networkBits = r.networkBits;
     out.messages = proto.messageCounters().totalCount();
@@ -244,9 +260,47 @@ runPoint(const SweepPoint &pt)
 SweepResult
 runPointTraced(const SweepPoint &pt, std::ostream &trace_out)
 {
+    return runPointObserved(pt, &trace_out, nullptr);
+}
+
+SweepResult
+runPointObserved(const SweepPoint &pt, std::ostream *trace_out,
+                 std::ostream *metrics_out, const char *metrics_label)
+{
     panic_if(pt.engine != EngineKind::Concurrent,
-             "runPointTraced: only the concurrent engine is traced");
-    return runConcurrent(pt, &trace_out);
+             "runPointObserved: only the concurrent engine is "
+             "observable");
+    return runConcurrent(pt, trace_out, metrics_out, metrics_label);
+}
+
+bool
+capturePointObservability(const SweepPoint &pt,
+                          const char *metrics_label)
+{
+    const char *trace_path = std::getenv("MSCP_TRACE_OUT");
+    const char *metrics_path = metricsOutPath();
+    if (!trace_path && !metrics_path)
+        return false;
+
+    std::ofstream trace_file, metrics_file;
+    if (trace_path) {
+        trace_file.open(trace_path);
+        if (!trace_file)
+            warn("cannot open trace output file %s", trace_path);
+    }
+    if (metrics_path) {
+        metrics_file.open(metrics_path, std::ios::app);
+        if (!metrics_file)
+            warn("cannot open metrics output file %s", metrics_path);
+    }
+    if (!trace_file.is_open() && !metrics_file.is_open())
+        return false;
+
+    runPointObserved(pt,
+                     trace_file.is_open() ? &trace_file : nullptr,
+                     metrics_file.is_open() ? &metrics_file : nullptr,
+                     metrics_label);
+    return true;
 }
 
 OpLatencies

@@ -103,6 +103,12 @@ struct SweepPoint
     bool traceEnabled = false;
     /** Tracer ring capacity in records. */
     std::size_t traceCapacity = 4096;
+    /** Enable windowed metrics for this point (sim/metrics.hh);
+     *  runPointObserved forces it on when given a metrics stream. */
+    bool metricsEnabled = false;
+    /** Metrics window width in ticks / snapshot ring capacity. */
+    Tick metricsWindow = 2048;
+    std::size_t metricsCapacity = 1024;
     /** @} */
 };
 
@@ -176,6 +182,41 @@ SweepResult runPoint(const SweepPoint &pt);
  */
 SweepResult runPointTraced(const SweepPoint &pt,
                            std::ostream &trace_out);
+
+/**
+ * Execute one concurrent-engine point with any combination of
+ * observability exports (either stream may be null):
+ *
+ *  - @p trace_out: Chrome trace_event JSON of the run, with the
+ *    metrics counter tracks spliced onto the same timeline when
+ *    metrics are on -- one Perfetto view of spans and contention;
+ *  - @p metrics_out: the run's window series as JSON Lines
+ *    (schema in core/bench_json.hh), each record tagged with
+ *    @p metrics_label so multi-run files stay separable.
+ *
+ * Whichever stream is given forces the matching subsystem on. The
+ * SweepResult is identical to runPoint's for the same point:
+ * observation never perturbs simulation results.
+ */
+SweepResult runPointObserved(const SweepPoint &pt,
+                             std::ostream *trace_out,
+                             std::ostream *metrics_out,
+                             const char *metrics_label = "");
+
+/**
+ * Bench observability hook: when MSCP_TRACE_OUT and/or
+ * MSCP_METRICS_OUT name files, re-run @p pt (a concurrent-engine
+ * point) through runPointObserved() and write the requested
+ * exports; a no-op when neither variable is set, so bench stdout
+ * and timing stay untouched. The trace file is truncated (one
+ * trace per file); the metrics file is appended (JSON Lines
+ * records from several benches may share a trajectory file, told
+ * apart by @p metrics_label).
+ *
+ * @return true iff an observed run happened.
+ */
+bool capturePointObservability(const SweepPoint &pt,
+                               const char *metrics_label);
 
 /**
  * Merge every point's latency histograms in index order. Plain

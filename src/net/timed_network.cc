@@ -49,10 +49,18 @@ TimedNetwork::send(const std::vector<Traversal> &trace,
         free = depart + ser;
         doneScratch[i] = depart + ser + hopLatency;
 
+        if (metrics) {
+            metrics->cell(mid.linkWait, t.level, t.line,
+                          depart - ready);
+            metrics->cell(mid.linkBusy, t.level, t.line, ser);
+        }
+
         if (t.level == m)
             scheduleDelivery(on_delivery, t.line, doneScratch[i],
                              last);
     }
+    if (metrics)
+        metrics->sample(mid.fanout, _lastDeliveries);
     return last;
 }
 

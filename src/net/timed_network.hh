@@ -20,6 +20,7 @@
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 #include "sim/inline_function.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -33,6 +34,17 @@ namespace mscp::net
  * compile time, see InlineCallback.
  */
 using DeliveryFn = InlineCallback<NodeId, Tick>;
+
+/**
+ * Handles of the timed network's metric series, registered by the
+ * owning engine (shape: grids are numLinkLevels() x numPorts()).
+ */
+struct NetMetricIds
+{
+    MetricId linkWait;  ///< grid: ticks queued behind a busy link
+    MetricId linkBusy;  ///< grid: ticks spent serializing bits
+    MetricId fanout;    ///< histogram: deliveries per send()
+};
 
 /** Timing wrapper around OmegaNetwork. */
 class TimedNetwork
@@ -147,6 +159,19 @@ class TimedNetwork
      */
     void setTracer(Tracer *t) { tracer = t; }
 
+    /**
+     * Attach a metric set accumulating the stage x port contention
+     * heatmap (per-link wait and busy ticks) and the per-send
+     * delivery fan-out histogram. Attach only while metrics are
+     * enabled, as with setTracer(); pass nullptr to detach.
+     */
+    void
+    setMetrics(MetricSet *m, const NetMetricIds &ids)
+    {
+        metrics = m;
+        mid = ids;
+    }
+
   private:
     std::size_t
     linkIndex(unsigned level, unsigned line) const
@@ -163,6 +188,8 @@ class TimedNetwork
     EventQueue &eq;
     FaultInjector *faults = nullptr;
     Tracer *tracer = nullptr;
+    MetricSet *metrics = nullptr;
+    NetMetricIds mid;
     Bits linkWidthBits;
     Tick hopLatency;
     /** Tick at which each link becomes free again. */

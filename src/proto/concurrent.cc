@@ -28,7 +28,8 @@ ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
     : params(p), net(network),
       timedNet(network, eq, p.linkWidthBits, p.hopLatency),
       injector(p.faultPlan, p.crashPlan), retryRng(p.jitterSeed),
-      _tracer(p.traceCapacity)
+      _tracer(p.traceCapacity), mx(registerMetrics()),
+      msampler(mx, p.metricsWindow, p.metricsCapacity)
 {
     params.geometry.check();
     // Self-gating: a disabled plan detaches and the delivery path
@@ -48,6 +49,19 @@ ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
         eq.setTracer(&_tracer);
         timedNet.setTracer(&_tracer);
     }
+    // Metrics follow the same attach discipline as the tracer: the
+    // sampler and the network's heatmap hooks are only installed
+    // while enabled, so a metrics-off run pays one branch per call
+    // site and is byte-identical in results and output.
+    if (metricsCompiledIn() && params.metricsEnabled) {
+        mx.setEnabled(true);
+        msampler.setProbe([this] { metricsProbe(); });
+        msampler.arm();
+        if (msampler.armed()) {
+            eq.setMetricsSampler(&msampler);
+            timedNet.setMetrics(&mx, mid.net);
+        }
+    }
     unsigned n = network.numPorts();
     cpus.reserve(n);
     homes.reserve(n);
@@ -57,6 +71,60 @@ ConcurrentProtocol::ConcurrentProtocol(net::OmegaNetwork &network,
                            params.geometry.blockWords);
     }
     deadNodes = DynamicBitset(n);
+}
+
+const MetricsRegistry &
+ConcurrentProtocol::registerMetrics()
+{
+    const auto levels = net.topology().numLinkLevels();
+    const auto ports = net.numPorts();
+    mid.net.linkWait = mreg.grid("net.link_wait", levels, ports);
+    mid.net.linkBusy = mreg.grid("net.link_busy", levels, ports);
+    mid.net.fanout = mreg.histogram("net.fanout");
+    mid.evqDepth = mreg.gauge("evq.depth");
+    mid.evqTombstones = mreg.gauge("evq.tombstones");
+    mid.refsOutstanding = mreg.gauge("proto.refs_outstanding");
+    mid.refsDone = mreg.counter("proto.refs_done");
+    mid.retries = mreg.counter("proto.retries");
+    mid.timeouts = mreg.counter("proto.timeouts");
+    mid.retryBackoff = mreg.histogram("proto.retry_backoff");
+    mid.dirEntries = mreg.gauge("dir.entries");
+    mid.busyBlocks = mreg.gauge("dir.busy_blocks");
+    mid.homeOccupancy = mreg.histogram("dir.occupancy");
+    mid.recoveringBlocks = mreg.gauge("recovery.blocks");
+    mid.rebuilds = mreg.counter("recovery.rebuilds");
+    mid.faultDropped = mreg.counter("fault.dropped");
+    mid.faultDuplicated = mreg.counter("fault.duplicated");
+    mid.faultDelayed = mreg.counter("fault.delayed");
+    mid.crashMasked = mreg.counter("fault.crash_masked");
+    return mreg;
+}
+
+void
+ConcurrentProtocol::metricsProbe()
+{
+    mx.set(mid.evqDepth, eq.size());
+    mx.set(mid.evqTombstones, eq.tombstoneSlots());
+    mx.set(mid.refsOutstanding, refsOutstanding);
+    mx.set(mid.refsDone, readsDone + writesDone);
+    mx.set(mid.retries, ctrs.retries);
+    mx.set(mid.timeouts, ctrs.timeouts);
+    mx.set(mid.rebuilds, ctrs.rebuilds);
+    std::uint64_t entries = 0, busy = 0, recovering = 0;
+    for (const HomeState &h : homes) {
+        entries += h.mem.blockStore().size();
+        busy += h.busy.size();
+        recovering += h.recovering.size();
+        mx.sample(mid.homeOccupancy, h.busy.size());
+    }
+    mx.set(mid.dirEntries, entries);
+    mx.set(mid.busyBlocks, busy);
+    mx.set(mid.recoveringBlocks, recovering);
+    const FaultCounters &fc = injector.counters();
+    mx.set(mid.faultDropped, fc.totalDropped());
+    mx.set(mid.faultDuplicated, fc.totalDuplicated());
+    mx.set(mid.faultDelayed, fc.totalDelayed());
+    mx.set(mid.crashMasked, fc.totalCrashMasked());
 }
 
 ConcurrentProtocol::~ConcurrentProtocol() = default;
@@ -2054,6 +2122,7 @@ ConcurrentProtocol::armTimeout(NodeId cpu)
     Tick delay = std::min(params.timeoutBase << shift,
                           params.timeoutCap);
     delay += retryRng.uniform(0, delay / 4);
+    mx.sample(mid.retryBackoff, delay);
     std::uint64_t seq = cs.txSeq;
     cs.timeoutEv = eq.scheduleIn(
         [this, cpu, seq] { onTimeout(cpu, seq); }, delay);
@@ -2348,6 +2417,42 @@ ConcurrentProtocol::buildDeadlockReport(
     }
     out += csprintf("  in-flight message slots: %zu (slab %zu)\n",
                     inflight, msgSlab.size());
+    // Health tail: how much history the diagnosis above rests on
+    // (a saturated ring means the timeline replays are partial),
+    // which message classes the dead-node sink swallowed, and a
+    // fresh scalar-metrics snapshot of the wedged system.
+    if (_tracer.enabled()) {
+        out += csprintf(
+            "  trace ring: %llu recorded, %llu lost to overwrite\n",
+            static_cast<unsigned long long>(_tracer.recorded()),
+            static_cast<unsigned long long>(_tracer.dropped()));
+    }
+    if (crashEnabled()) {
+        const FaultCounters &fc = injector.counters();
+        out += "  crash-masked deliveries:";
+        for (std::size_t c = 0; c < FaultCounters::N; ++c) {
+            out += csprintf(
+                " %s=%llu",
+                faultClassName(static_cast<FaultClass>(c)),
+                static_cast<unsigned long long>(fc.crashMasked[c]));
+        }
+        out += "\n";
+    }
+    if (mx.enabled()) {
+        metricsProbe();
+        out += csprintf("  metrics @%llu:",
+                        static_cast<unsigned long long>(now));
+        for (const MetricSeries &s : mreg.series()) {
+            if (s.kind != MetricKind::Counter &&
+                s.kind != MetricKind::Gauge) {
+                continue;
+            }
+            out += csprintf(" %s=%llu", s.name.c_str(),
+                            static_cast<unsigned long long>(
+                                mx.values()[s.slot]));
+        }
+        out += "\n";
+    }
     return out;
 }
 
@@ -2760,6 +2865,9 @@ ConcurrentProtocol::run(workload::ReferenceStream &stream)
     }
 
     eq.run();
+    // Close the final (possibly partial) metrics window so short
+    // runs and the report tool always see the full series.
+    msampler.finish(eq.curTick());
 
     // A watchdog abort is a *reported* deadlock: the result carries
     // it and the caller decides. Anything else left hanging is an

@@ -50,6 +50,7 @@
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 #include "sim/flat.hh"
+#include "sim/metrics.hh"
 #include "sim/random.hh"
 #include "sim/trace.hh"
 #include "workload/ref_stream.hh"
@@ -168,6 +169,17 @@ struct ConcurrentParams
     bool traceEnabled = false;
     /** Ring capacity in records (rounded up to a power of two). */
     std::size_t traceCapacity = 4096;
+    /**
+     * Runtime windowed-metrics enable (sim/metrics.hh): per-link
+     * contention heatmaps, queue/directory gauges and health
+     * counters snapshotted every metricsWindow ticks. With metrics
+     * compiled out (MSCP_METRICS=OFF) all three knobs are inert.
+     */
+    bool metricsEnabled = false;
+    /** Sampling window width in sim ticks. */
+    Tick metricsWindow = 2048;
+    /** Snapshot ring capacity (rounded up to a power of two). */
+    std::size_t metricsCapacity = 1024;
     /** @} */
 };
 
@@ -209,6 +221,17 @@ class ConcurrentProtocol
     /** The engine's event tracer (empty unless tracing is enabled
      *  via ConcurrentParams or an armed watchdog). */
     const Tracer &tracer() const { return _tracer; }
+
+    /** @{ windowed metrics (empty unless metricsEnabled) */
+    const MetricsRegistry &metricsRegistry() const { return mreg; }
+    const MetricsSampler &metricsSampler() const { return msampler; }
+    /** The held window series, oldest-first. */
+    std::vector<MetricsWindow>
+    metricsWindows() const
+    {
+        return msampler.snapshotWindows();
+    }
+    /** @} */
 
     /**
      * Run a reference stream: per-cpu program order, one
@@ -568,6 +591,36 @@ class ConcurrentProtocol
     }
     /** Close an eviction handshake span and sample its latency. */
     void endEviction(NodeId cpu);
+
+    /** Handles of the engine's metric series (see registerMetrics
+     *  for the schema). */
+    struct EngineMetricIds
+    {
+        net::NetMetricIds net;     ///< link heatmaps + fanout
+        MetricId evqDepth;         ///< gauge: live pending events
+        MetricId evqTombstones;    ///< gauge: descheduled heap slots
+        MetricId refsOutstanding;  ///< gauge: references in flight
+        MetricId refsDone;         ///< counter: completed references
+        MetricId retries;          ///< counter: timed-out resends
+        MetricId timeouts;         ///< counter: timeouts fired
+        MetricId retryBackoff;     ///< histogram: armed timer delays
+        MetricId dirEntries;       ///< gauge: directory entries held
+        MetricId busyBlocks;       ///< gauge: outstanding busy tokens
+        MetricId homeOccupancy;    ///< histogram: per-home busy sizes
+        MetricId recoveringBlocks; ///< gauge: reconstruction fences
+        MetricId rebuilds;         ///< counter: reconstructions done
+        MetricId faultDropped;     ///< counter: injected drops
+        MetricId faultDuplicated;  ///< counter: injected duplicates
+        MetricId faultDelayed;     ///< counter: injected delays
+        MetricId crashMasked;      ///< counter: dead-node sinks
+    };
+
+    /** Register every series into mreg, fill mid, return mreg (the
+     *  MetricSet member is constructed from the result). */
+    const MetricsRegistry &registerMetrics();
+    /** Sampler probe: refresh gauges and mirror the plain counters
+     *  just before each window snapshot. */
+    void metricsProbe();
     /** @} */
 
     /** @{ robustness: timeouts, retry, watchdog */
@@ -646,6 +699,16 @@ class ConcurrentProtocol
     Tracer _tracer;
     /** Per-completion latency sink (empty = no sampling). */
     LatencySink latSink;
+
+    /** @{ windowed metrics. Declaration order matters: mreg and mid
+     *  are populated by registerMetrics() while mx is constructed,
+     *  and msampler snapshots mx. Everything below is inert (one
+     *  branch per call site) unless params.metricsEnabled. */
+    MetricsRegistry mreg;
+    EngineMetricIds mid;
+    MetricSet mx;
+    MetricsSampler msampler;
+    /** @} */
 
     std::vector<CpuState> cpus;
     std::vector<HomeState> homes;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 
 namespace mscp
@@ -150,6 +151,11 @@ EventQueue::step()
     pending.erase(top.seq);
     _curTick = top.when;
     ++_executed;
+    // Window boundaries snapshot *before* the event at the boundary
+    // tick executes, so each window holds exactly the events whose
+    // ticks precede it.
+    if (msampler)
+        msampler->advanceTo(top.when);
     top.cb();
     return true;
 }

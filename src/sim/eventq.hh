@@ -38,6 +38,7 @@
 namespace mscp
 {
 
+class MetricsSampler;
 class Tracer;
 
 /** Opaque handle identifying a scheduled event for descheduling. */
@@ -146,6 +147,15 @@ class EventQueue
     void setTracer(Tracer *t) { tracer = t; }
 
     /**
+     * Attach a windowed metrics sampler, advanced to each event's
+     * tick just before the event executes so every snapshot boundary
+     * reflects exactly the events that preceded it (sim/metrics.hh).
+     * Attach only while metrics are enabled, as with setTracer();
+     * pass nullptr to detach.
+     */
+    void setMetricsSampler(MetricsSampler *s) { msampler = s; }
+
+    /**
      * Heap slots currently occupied by descheduled events
      * (diagnostic; exercised by the compaction property test).
      */
@@ -181,6 +191,7 @@ class EventQueue
     void compact();
 
     Tracer *tracer = nullptr;
+    MetricsSampler *msampler = nullptr;
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t _executed = 0;

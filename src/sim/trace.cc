@@ -147,6 +147,14 @@ void
 exportChromeTrace(std::ostream &os,
                   const std::vector<TraceRecord> &records)
 {
+    exportChromeTrace(os, records, {});
+}
+
+void
+exportChromeTrace(std::ostream &os,
+                  const std::vector<TraceRecord> &records,
+                  const std::vector<ChromeExtraEvent> &extras)
+{
     // Pass 1: pair begins with ends by (category, node, seq) so the
     // output only ever contains matched "b"/"e" pairs. A begin whose
     // end was lost (ring overwrite, aborted run) or an end whose
@@ -202,9 +210,22 @@ exportChromeTrace(std::ostream &os,
                        static_cast<unsigned>(node));
     }
 
+    // Splice preformatted extras (metrics counter tracks) into the
+    // stream in tick order. Ties emit the extra first: a window's
+    // counters describe time strictly before its boundary tick.
+    std::size_t ei = 0;
+    auto flushExtras = [&](Tick upTo) {
+        while (ei < extras.size() && extras[ei].ts <= upTo) {
+            sep();
+            os << extras[ei].json;
+            ++ei;
+        }
+    };
+
     for (std::size_t i = 0; i < records.size(); ++i) {
         const TraceRecord &r = records[i];
         const auto kind = static_cast<TraceEvent>(r.kind);
+        flushExtras(r.tick);
         sep();
         if (role[i] == RoleBegin || role[i] == RoleEnd) {
             const char *cat = spanCat(kind);
@@ -252,6 +273,7 @@ exportChromeTrace(std::ostream &os,
                            static_cast<unsigned long long>(r.arg));
         }
     }
+    flushExtras(maxTick);
     os << "\n]\n";
 }
 

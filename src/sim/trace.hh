@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -242,6 +243,28 @@ class Tracer
  */
 void exportChromeTrace(std::ostream &os,
                        const std::vector<TraceRecord> &records);
+
+/**
+ * A preformatted Chrome trace_event object (no trailing comma) to
+ * splice into an exportChromeTrace() stream at tick @c ts. The
+ * metrics layer renders counter-track events this way
+ * (sim/metrics.hh) so counters and transaction spans share one
+ * Perfetto timeline.
+ */
+struct ChromeExtraEvent
+{
+    Tick ts = 0;
+    std::string json;
+};
+
+/**
+ * Export records with extra preformatted events merged in tick
+ * order. @p extras must be sorted by ts; ties emit the extra first
+ * (a window's counters describe time *before* its boundary).
+ */
+void exportChromeTrace(std::ostream &os,
+                       const std::vector<TraceRecord> &records,
+                       const std::vector<ChromeExtraEvent> &extras);
 
 /** Convenience overload exporting a tracer's current snapshot. */
 void exportChromeTrace(std::ostream &os, const Tracer &tracer);

@@ -124,6 +124,11 @@ struct PdesTrafficSystem::Shard
     core::OpLatencies lat;
     Tick maxCompletion = 0;
     std::unique_ptr<Tracer> tracer;
+    /** Windowed metrics (null unless cfg.metricsEnabled): the cell
+     *  array and its sampler are shard-owned like the counters, so
+     *  recording stays single-threaded and lock-free. */
+    std::unique_ptr<MetricSet> mx;
+    std::unique_ptr<MetricsSampler> sampler;
 };
 
 PdesTrafficSystem::PdesTrafficSystem(const PdesTrafficConfig &config)
@@ -141,6 +146,7 @@ PdesTrafficSystem::PdesTrafficSystem(const PdesTrafficConfig &config)
     panic_if(cfg.linkWidthBits == 0, "linkWidthBits must be >= 1");
 
     const unsigned n_ports = cfg.numPorts;
+    const bool metrics = metricsCompiledIn() && cfg.metricsEnabled;
     shards.reserve(map.numShards());
     for (unsigned s = 0; s < map.numShards(); ++s) {
         auto sh = std::make_unique<Shard>();
@@ -150,6 +156,16 @@ PdesTrafficSystem::PdesTrafficSystem(const PdesTrafficConfig &config)
             sh->tracer = std::make_unique<Tracer>(cfg.traceCapacity);
             sh->tracer->setEnabled(true);
             sh->tracer->setOverflowWarn(false);
+        }
+        if (metrics) {
+            if (s == 0)
+                registerMetrics(*sh->net);
+            sh->mx = std::make_unique<MetricSet>(mreg);
+            sh->mx->setEnabled(true);
+            sh->sampler = std::make_unique<MetricsSampler>(
+                *sh->mx, cfg.metricsWindow, cfg.metricsCapacity);
+            sh->sampler->setProbe([this, s] { metricsProbe(s); });
+            sh->sampler->arm();
         }
         shards.push_back(std::move(sh));
     }
@@ -178,6 +194,65 @@ PdesTrafficSystem::PdesTrafficSystem(const PdesTrafficConfig &config)
 }
 
 PdesTrafficSystem::~PdesTrafficSystem() = default;
+
+void
+PdesTrafficSystem::registerMetrics(const net::OmegaNetwork &n0)
+{
+    const auto levels = n0.topology().numLinkLevels();
+    const auto ports = cfg.numPorts;
+    pmid.stageBits = mreg.grid("net.stage_bits", levels, ports);
+    pmid.stageWait = mreg.grid("net.stage_wait", levels, ports);
+    pmid.fanout = mreg.histogram("net.fanout");
+    pmid.refs = mreg.counter("pt.refs");
+    pmid.messages = mreg.counter("pt.messages");
+    pmid.localMessages = mreg.counter("pt.local_messages");
+    pmid.homeQueued = mreg.counter("home.queued");
+    pmid.invalidations = mreg.counter("home.invalidations");
+    pmid.invalAcks = mreg.counter("home.inval_acks");
+    pmid.evictions = mreg.counter("pt.evictions");
+    pmid.valueErrors = mreg.counter("pt.value_errors");
+    pmid.readHits = mreg.counter("pt.read_hits");
+    pmid.readMisses = mreg.counter("pt.read_misses");
+    pmid.writeHits = mreg.counter("pt.write_hits");
+    pmid.writeMisses = mreg.counter("pt.write_misses");
+    pmid.dirBusy = mreg.gauge("dir.busy");
+    pmid.dirWaiting = mreg.gauge("dir.waiting");
+}
+
+void
+PdesTrafficSystem::metricsProbe(unsigned s)
+{
+    // Reads only shard-owned state (this shard's counters and the
+    // directories of its nodes), all of it mutated exclusively by
+    // this shard's events, so a probe fired at a window boundary
+    // sees identical values in the serial and sharded engines.
+    Shard &sh = *shards[s];
+    MetricSet &mx = *sh.mx;
+    const Shard::Counters &c = sh.c;
+    mx.set(pmid.refs, c.refs);
+    mx.set(pmid.messages, c.messages);
+    mx.set(pmid.localMessages, c.localMessages);
+    mx.set(pmid.homeQueued, c.homeQueued);
+    mx.set(pmid.invalidations, c.invalidations);
+    mx.set(pmid.invalAcks, c.invalAcks);
+    mx.set(pmid.evictions, c.evictions);
+    mx.set(pmid.valueErrors, c.valueErrors);
+    mx.set(pmid.readHits, c.readHits);
+    mx.set(pmid.readMisses, c.readMisses);
+    mx.set(pmid.writeHits, c.writeHits);
+    mx.set(pmid.writeMisses, c.writeMisses);
+    std::uint64_t busy = 0, waiting = 0;
+    for (unsigned n = 0; n < cfg.numPorts; ++n) {
+        if (map.shardOf(n) != s)
+            continue;
+        for (const DirEntry &d : nodes[n]->dir) {
+            busy += d.busy ? 1 : 0;
+            waiting += d.waiting.size();
+        }
+    }
+    mx.set(pmid.dirBusy, busy);
+    mx.set(pmid.dirWaiting, waiting);
+}
 
 Tick
 PdesTrafficSystem::lookahead() const
@@ -262,6 +337,14 @@ void
 PdesTrafficSystem::handleEvent(const PtMsg &m, std::uint64_t key)
 {
     const Tick now = queueOfNode(m.dst).curTick();
+    // Every event executes at its destination's shard, so the
+    // destination shard's sampler is the one whose windows this
+    // event can close. Advancing before the handler mutates state
+    // keeps each snapshot to exactly the events before the boundary
+    // (the same contract EventQueue::step applies for the engine).
+    Shard &esh = shardOfNode(m.dst);
+    if (esh.sampler)
+        esh.sampler->advanceTo(now);
     switch (static_cast<Ev>(m.ev)) {
       case Ev::Issue:
         issueRef(m.dst, now);
@@ -274,6 +357,10 @@ PdesTrafficSystem::handleEvent(const PtMsg &m, std::uint64_t key)
         const Tick ser = serialization(payloadBits(m.type));
         const Tick at = std::max(now, ds.portFree);
         ds.portFree = at + ser;
+        if (esh.mx) {
+            esh.mx->cell(pmid.stageWait, esh.net->numStages(),
+                         m.dst, at - now);
+        }
         if (at == now) {
             dispatch(m);
         } else {
@@ -414,11 +501,13 @@ PdesTrafficSystem::sendTree(NodeId src, const PtMsg &m,
 {
     Shard &sh = shardOfNode(src);
     NodeState &ss = *nodes[src];
+    MetricSet *mx = sh.mx.get();
     const Tick now = queueOfNode(src).curTick();
     const unsigned last_level = sh.net->numStages();
     const std::vector<net::Traversal> &trace = sh.traceScratch;
     std::vector<Tick> &done = sh.doneScratch;
     done.resize(trace.size());
+    std::uint64_t deliveries = 0;
 
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const net::Traversal &t = trace[i];
@@ -436,19 +525,28 @@ PdesTrafficSystem::sendTree(NodeId src, const PtMsg &m,
             // clamp models the delivery end.
             depart = std::max(ready, ss.srcFree);
             ss.srcFree = depart + ser;
+            if (mx) {
+                mx->cell(pmid.stageWait, 0, t.line,
+                         depart - ready);
+            }
         }
+        if (mx)
+            mx->cell(pmid.stageBits, t.level, t.line, t.bits);
         done[i] = depart + ser + cfg.hopLatency;
         if (t.level == last_level) {
             const NodeId dst = t.line;
             Tick arrival =
                 std::max(done[i], ss.lastArrival[dst] + 1);
             ss.lastArrival[dst] = arrival;
+            ++deliveries;
             PtMsg dm = m;
             dm.dst = static_cast<std::uint16_t>(dst);
             dm.ev = static_cast<std::uint8_t>(Ev::Arrive);
             scheduleEvent(src, dm, arrival, key);
         }
     }
+    if (mx)
+        mx->sample(pmid.fanout, deliveries);
 }
 
 void
@@ -806,9 +904,26 @@ PdesTrafficSystem::collect()
     }
     if (mode == Mode::Serial)
         r.events = serialQ->executedEvents();
+    // Close every shard's final metrics window at the merged
+    // makespan: both engines finish at the same tick, so the final
+    // window index (and its endTick) is mode-independent.
+    for (const auto &sh : shards) {
+        if (sh->sampler)
+            sh->sampler->finish(r.makespan);
+    }
     result = r;
     finished = true;
     return r;
+}
+
+std::vector<MetricsWindow>
+PdesTrafficSystem::metricsWindows() const
+{
+    std::vector<const MetricsSampler *> samplers;
+    samplers.reserve(shards.size());
+    for (const auto &sh : shards)
+        samplers.push_back(sh->sampler.get());
+    return mergeMetricWindows(samplers);
 }
 
 void
@@ -856,7 +971,12 @@ PdesTrafficSystem::exportChromeTrace(std::ostream &os) const
     tracers.reserve(shards.size());
     for (const auto &sh : shards)
         tracers.push_back(sh->tracer.get());
-    mscp::exportChromeTrace(os, tracers);
+    // Counter tracks (empty without metrics) share the timeline
+    // with the span rows, so Perfetto shows per-stage contention
+    // beside the transactions that caused it.
+    mscp::exportChromeTrace(os, mergeTraceRecords(tracers),
+                            metricsCounterTrackEvents(
+                                mreg, metricsWindows()));
 }
 
 } // namespace mscp::timed

@@ -53,6 +53,7 @@
 #include "proto/message.hh"
 #include "sim/bitset.hh"
 #include "sim/eventq.hh"
+#include "sim/metrics.hh"
 #include "sim/pdes.hh"
 #include "sim/random.hh"
 #include "sim/trace.hh"
@@ -84,6 +85,13 @@ struct PdesTrafficConfig
     /** Per-shard trace rings (merged time-ordered on export). */
     bool traceEnabled = false;
     std::size_t traceCapacity = 4096;
+    /** Per-shard windowed metrics (sim/metrics.hh), merged by
+     *  carry-forward addition on export. Shard count is fixed by
+     *  numShards, so the merged series is bit-identical for any
+     *  worker count and for the serial engine. */
+    bool metricsEnabled = false;
+    Tick metricsWindow = 4096;
+    std::size_t metricsCapacity = 256;
 };
 
 /**
@@ -158,8 +166,18 @@ class PdesTrafficSystem : public PdesClient
      *  count and for the serial engine. */
     void dumpStats(std::ostream &os) const;
 
-    /** Merged time-ordered Chrome trace of all shard rings. */
+    /** Merged time-ordered Chrome trace of all shard rings, with
+     *  per-stage metric counter tracks spliced in when metrics are
+     *  enabled. */
     void exportChromeTrace(std::ostream &os) const;
+
+    /** @{ windowed metrics (empty unless cfg.metricsEnabled) */
+    const MetricsRegistry &metricsRegistry() const { return mreg; }
+    /** Per-shard window streams merged into the single cumulative
+     *  series a one-shard run would produce (bit-identical for any
+     *  worker count and for the serial engine). */
+    std::vector<MetricsWindow> metricsWindows() const;
+    /** @} */
 
     /** @{ PdesClient (driven by the executor; not for callers) */
     Tick shardNextTick(unsigned shard) override;
@@ -205,6 +223,13 @@ class PdesTrafficSystem : public PdesClient
      *  commits link stats and schedules one Arrive per leaf. */
     void sendTree(NodeId src, const PtMsg &m, std::uint64_t key);
 
+    /** Register the per-shard series (grids shaped after @p n0's
+     *  topology); fill pmid. */
+    void registerMetrics(const net::OmegaNetwork &n0);
+    /** Shard @p s's sampler probe: refresh the directory gauges and
+     *  mirror the shard counters just before a window snapshot. */
+    void metricsProbe(unsigned s);
+
     void homeHandle(const PtMsg &m, Tick now);
     void cacheHandle(const PtMsg &m, Tick now);
     void startWrite(NodeId h, DirEntry &d, const PtMsg &m, Tick now);
@@ -214,9 +239,37 @@ class PdesTrafficSystem : public PdesClient
     void install(NodeId n, std::uint32_t blk, std::uint64_t ver,
                  Tick now);
 
+    /** Handles of the per-shard metric series. Contention grids are
+     *  shaped numLinkLevels() x numPorts: row 0 is the injection
+     *  link, the last row the delivery port drain (the two serial
+     *  resources of the timing model; interior rows of stage_wait
+     *  stay zero by construction). */
+    struct PdesMetricIds
+    {
+        MetricId stageBits;   ///< grid: bits moved per (level, line)
+        MetricId stageWait;   ///< grid: contention wait ticks
+        MetricId fanout;      ///< histogram: deliveries per tree
+        MetricId refs;        ///< counter (probe-mirrored)
+        MetricId messages;
+        MetricId localMessages;
+        MetricId homeQueued;
+        MetricId invalidations;
+        MetricId invalAcks;
+        MetricId evictions;
+        MetricId valueErrors;
+        MetricId readHits;
+        MetricId readMisses;
+        MetricId writeHits;
+        MetricId writeMisses;
+        MetricId dirBusy;     ///< gauge: busy directory entries
+        MetricId dirWaiting;  ///< gauge: parked requests
+    };
+
     PdesTrafficConfig cfg;
     ShardMap map;
     Tick _lookahead;
+    MetricsRegistry mreg;
+    PdesMetricIds pmid;
     Mode mode = Mode::Idle;
     std::vector<std::unique_ptr<Shard>> shards;
     std::vector<std::unique_ptr<NodeState>> nodes;

@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/sweep.hh"
+#include "sim/metrics.hh"
+
+#include "../sim/json_checker.hh"
 
 using namespace mscp;
 using core::EngineKind;
@@ -131,4 +136,51 @@ TEST(Sweep, EngineKindNamesAreDistinct)
                  "no-cache");
     EXPECT_STRNE(core::engineKindName(EngineKind::TwoModeForceDW),
                  core::engineKindName(EngineKind::TwoModeForceGR));
+}
+
+TEST(Sweep, ObservedRunNeverPerturbsResults)
+{
+    // runPointObserved's contract: attaching the tracer and the
+    // windowed metrics sampler is pure observation -- the SweepResult
+    // must be bit-identical to a plain runPoint of the same point.
+    core::SweepPoint pt;
+    pt.engine = EngineKind::Concurrent;
+    pt.numPorts = 16;
+    pt.tasks = 4;
+    pt.writeFraction = 0.4;
+    pt.numBlocks = 4;
+    pt.numRefs = 800;
+    pt.seed = 11;
+    pt.metricsWindow = 128;
+
+    const auto plain = core::runPoint(pt);
+
+    std::ostringstream trace, metrics;
+    const auto observed =
+        core::runPointObserved(pt, &trace, &metrics, "test/observed");
+    EXPECT_EQ(observed, plain);
+
+    // The trace stream must hold one valid JSON document.
+    EXPECT_FALSE(trace.str().empty());
+    EXPECT_TRUE(mscp::test::JsonChecker(trace.str()).valid());
+
+    // The metrics stream is JSON Lines: every line valid on its own,
+    // each carrying the label we passed. Empty only when metrics are
+    // compiled out.
+    const std::string mtext = metrics.str();
+    if (!metricsCompiledIn()) {
+        EXPECT_TRUE(mtext.empty());
+        return;
+    }
+    ASSERT_FALSE(mtext.empty());
+    std::istringstream lines(mtext);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        ++n;
+        EXPECT_TRUE(mscp::test::JsonChecker(line).valid()) << line;
+        EXPECT_NE(line.find("\"label\":\"test/observed\""),
+                  std::string::npos);
+    }
+    EXPECT_GT(n, 1u);
 }

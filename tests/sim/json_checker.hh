@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared JSON validation helpers for exporter tests (Chrome traces,
+ * metrics JSON Lines): a minimal recursive-descent validator and a
+ * substring counter.
+ */
+
+#ifndef MSCP_TESTS_SIM_JSON_CHECKER_HH
+#define MSCP_TESTS_SIM_JSON_CHECKER_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace mscp::test
+{
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the
+ * RFC 8259 grammar (no trailing commas, no comments). Returns true
+ * iff the whole string is one valid JSON value.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+    bool eat(char c) { return peek() == c ? (++pos, true) : false; }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (; *word; ++word)
+            if (!eat(*word))
+                return false;
+        return true;
+    }
+
+    bool
+    object()
+    {
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        do {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat('}');
+    }
+
+    bool
+    array()
+    {
+        if (!eat('['))
+            return false;
+        skipWs();
+        if (eat(']'))
+            return true;
+        do {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+        } while (eat(','));
+        return eat(']');
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+            }
+            ++pos;
+        }
+        return eat('"');
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        eat('-');
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+        if (eat('.'))
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return pos > start;
+    }
+};
+
+inline std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle);
+         at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace mscp::test
+
+#endif // MSCP_TESTS_SIM_JSON_CHECKER_HH

@@ -208,3 +208,42 @@ TEST(PdesTraffic, RunsExactlyOnce)
     sys2.runSerial();
     EXPECT_THROW(sys2.run(1), PanicError);
 }
+
+TEST(PdesTraffic, MetricsSeriesIdenticalAcrossWorkerCountsAndSerial)
+{
+    // The metrics contract mirrors the stats one: per-shard samplers
+    // see the same event stream under any worker count (and under the
+    // serial reference engine), so the merged window series must be
+    // bit-identical everywhere. MetricsWindow's defaulted operator==
+    // compares every cell.
+    if (!metricsCompiledIn())
+        GTEST_SKIP() << "metrics compiled out (MSCP_METRICS=OFF)";
+    PdesTrafficConfig cfg = smallConfig();
+    cfg.metricsEnabled = true;
+    cfg.metricsWindow = 64;
+
+    auto windowsOf = [&](unsigned threads, bool serial) {
+        PdesTrafficSystem sys(cfg);
+        if (serial)
+            sys.runSerial();
+        else
+            sys.run(threads);
+        return sys.metricsWindows();
+    };
+
+    const auto ref = windowsOf(0, true);
+    ASSERT_FALSE(ref.empty())
+        << "metrics-enabled run produced no windows";
+    for (unsigned threads : {1u, 2u, 4u, 8u})
+        EXPECT_EQ(windowsOf(threads, false), ref)
+            << "metrics series diverged at " << threads << " workers";
+}
+
+TEST(PdesTraffic, MetricsStayEmptyWhenDisabled)
+{
+    // Default config leaves metrics off: the registry still describes
+    // the schema, but no sampler ever arms and no windows accumulate.
+    PdesTrafficSystem sys(smallConfig());
+    sys.run(2);
+    EXPECT_TRUE(sys.metricsWindows().empty());
+}

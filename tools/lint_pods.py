@@ -35,8 +35,17 @@ hot paths rely on but the compiler only partially enforces:
     slots between threads, and the ring's no-false-sharing claim
     depends on the cache-line size. Both static_asserts must stay.
 
+ 7. The metrics hot-path PODs keep their frozen layouts: MetricId
+    stays a packed 8-byte handle and MetricWindowHeader a packed
+    32-byte ring header, every member fixed-width, with the size
+    and trivially-copyable static_asserts present. The sampler ring
+    memcpys headers and the JSONL/Perfetto exporters do stride math
+    on these layouts.
+
 Run from the repo root:  python3 tools/lint_pods.py
 Exit status 0 iff every check passes; findings go to stderr.
+'--selftest' additionally feeds check 7 a deliberately corrupted
+struct and fails unless the lint flags it (guards the guard).
 """
 
 import pathlib
@@ -199,12 +208,92 @@ def check_mailbox_slot():
                          "<MailboxSlot> static_assert")
 
 
+METRIC_PODS = (
+    ("MetricId", 8, {"std::uint32_t", "std::uint16_t"}),
+    ("MetricWindowHeader", 32, {"std::uint64_t"}),
+)
+
+
+def check_metric_pods(text=None):
+    path = SRC / "sim" / "metrics.hh"
+    if text is None:
+        text = path.read_text()
+    for name, size, fixed in METRIC_PODS:
+        body, line = extract_struct(text, name)
+        if body is None:
+            fail(path, 1, f"struct {name} not found")
+            continue
+        for off, mtype, member in member_lines(body):
+            if mtype not in fixed:
+                fail(path, line + off,
+                     f"{name} member '{member}' has non-fixed-width "
+                     f"type '{mtype}' ({size}-byte POD contract)")
+        if not re.search(r"static_assert\(sizeof\(" + name +
+                         r"\)\s*==\s*" + str(size), text):
+            fail(path, line,
+                 f"missing sizeof({name}) == {size} static_assert")
+        if not re.search(r"static_assert\(\s*std::"
+                         r"is_trivially_copyable_v<" + name + ">",
+                         text):
+            fail(path, line, f"missing is_trivially_copyable_v"
+                             f"<{name}> static_assert")
+
+
+# Deliberately broken metrics PODs for --selftest: a non-fixed-width
+# member, a dynamic member and no static_asserts. Check 7 must flag
+# every struct here or the lint has gone blind.
+SELFTEST_BAD = """
+struct MetricId
+{
+    std::size_t slot = 0;
+    std::uint16_t cols = 1;
+};
+
+struct MetricWindowHeader
+{
+    std::uint64_t window;
+    std::string label;
+};
+"""
+
+
+def selftest():
+    check_metric_pods()
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print("lint_pods --selftest: repo sources must pass "
+              "check 7 first", file=sys.stderr)
+        return 1
+    check_metric_pods(text=SELFTEST_BAD)
+    flagged = list(errors)
+    errors.clear()
+    wanted = ["'slot'", "'label'", "sizeof(MetricId)",
+              "sizeof(MetricWindowHeader)",
+              "is_trivially_copyable_v<MetricId>"]
+    missing = [w for w in wanted
+               if not any(w in e for e in flagged)]
+    if missing:
+        for e in flagged:
+            print(e, file=sys.stderr)
+        print(f"lint_pods --selftest: corrupted input not fully "
+              f"flagged, missing findings about {missing}",
+              file=sys.stderr)
+        return 1
+    print(f"lint_pods --selftest: check 7 flagged all "
+          f"{len(flagged)} planted defects")
+    return 0
+
+
 def main():
+    if "--selftest" in sys.argv[1:]:
+        return selftest()
     check_trace_record()
     check_record_call_sites()
     check_msg()
     check_latency_sink()
     check_mailbox_slot()
+    check_metric_pods()
     if errors:
         for e in errors:
             print(e, file=sys.stderr)
