@@ -1,34 +1,62 @@
 /**
  * @file
- * Model-checker sweep: exhaust (or budget-explore) the acceptance
- * configurations and print one coverage row per config.
+ * Model-checker sweep: exhaust the acceptance configurations and
+ * print one coverage row per config, each config analyzed four
+ * ways -- full exploration, POR exploration, liveness, refinement.
  *
  * Configs are independent, so they fan out over the thread pool;
  * rows are keyed by config index and printed in order, keeping
  * stdout byte-stable regardless of MSCP_THREADS (the explorer
  * itself is sequential -- parallelism is across configs only).
- * Coverage numbers (unique states, edges, settled states checked,
- * seen-set prune hits) go to BenchJson when $MSCP_BENCH_JSON is
- * set. Any violation renders its minimized counterexample to
- * stderr and fails the process: this bench doubles as the CI gate
- * that the healthy engine model-checks clean.
+ *
+ * Every config runs both a full and a POR exploration and the two
+ * are *audited* against each other: identical verdicts, identical
+ * settled-state counts and an identical order-independent digest
+ * over the distinct settled states (the invariant-checked
+ * coverage). A mismatch is a soundness bug in the reduction and
+ * fails the process. `--por-audit` restricts the run to exactly
+ * this audit (no liveness/refinement legs), which is the CI
+ * self-check that the ample/sleep-set machinery never trades
+ * coverage for speed.
+ *
+ * Exhaustible configs additionally run the liveness checker
+ * (liveness.hh: weakly fair accepting cycles over the full graph)
+ * and the 2-node configs run the refinement checker (refine.hh:
+ * observable-trace inclusion in the atomic-register spec).
+ *
+ * Coverage numbers go to BenchJson when $MSCP_BENCH_JSON is set,
+ * and a machine-readable per-config coverage summary is written to
+ * $MSCP_VERIFY_COVERAGE_OUT when set; tools/check_verify_coverage.py
+ * diffs that summary against tests/verify/sweep_baseline.json so a
+ * change that silently shrinks coverage (or un-exhausts a config)
+ * fails the build. Any violation renders its minimized
+ * counterexample to stderr and fails the process: this bench
+ * doubles as the CI gate that the healthy engine model-checks
+ * clean.
  *
  * The matrix:
  *   A-dw / A-gr  2-node, 1-block, 2-ops-per-cpu, both modes --
- *                exhausted completely (the ISSUE acceptance bar);
- *   B-3cpu      3 active cpus on a 4-port network, single block --
- *                explored under a state budget;
- *   C-evict     two blocks through a 1-way set, forcing evictions
+ *                exhausted completely, plus liveness + refinement;
+ *   B-3cpu       3 active cpus on a 4-port network, two blocks
+ *                (writer / cross-reader / writer) -- previously
+ *                budget-capped, now exhausted, and the headline
+ *                POR reduction demo (>= 5x);
+ *   B-gr2blk     the GR-mode variant with two cross-readers; the
+ *                widest config (~170k full states, ~30x reduced);
+ *   C-evict      two blocks through a 1-way set, forcing evictions
  *                and ownership hand-offs (symmetry auto-disabled);
  *   D-timeout    retry-timer machinery on, timers fire at any
  *                protocol point -- exhausted completely;
- *   E-crash      one budgeted crash with suspicion/recovery on,
- *                under depth+state budgets (the suspect-retry loop
- *                makes the full space unbounded; see DESIGN.md 5g).
+ *   E-crash      one budgeted crash with suspicion/recovery on and
+ *                resend-dedup folding the retry storms
+ *                (VerifyOptions::dedupResends) -- previously under
+ *                depth+state budgets, now exhausted.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +64,8 @@
 #include "sim/logging.hh"
 #include "sim/pool.hh"
 #include "verify/explorer.hh"
+#include "verify/liveness.hh"
+#include "verify/refine.hh"
 #include "verify/state.hh"
 
 using namespace mscp;
@@ -46,134 +76,302 @@ using verify::VerifyConfig;
 namespace
 {
 
-std::vector<VerifyConfig>
+/** One sweep row: which legs run and everything they produced. */
+struct Row
+{
+    VerifyConfig cfg;
+    bool refineLeg = false; ///< run the refinement checker
+    ExploreResult full;
+    ExploreResult por;
+    ExploreResult live;
+    ExploreResult refine;
+    bool auditOk = false;
+    std::string render; ///< first minimized counterexample, if any
+};
+
+std::vector<Row>
 matrix()
 {
-    std::vector<VerifyConfig> cfgs;
+    std::vector<Row> rows;
 
-    VerifyConfig a;
-    a.name = "A-dw";
-    a.nodes = 2;
-    a.geometry = cache::Geometry{1, 1, 1};
-    a.mode = cache::Mode::DistributedWrite;
-    a.program = {
+    Row a;
+    a.cfg.name = "A-dw";
+    a.cfg.nodes = 2;
+    a.cfg.geometry = cache::Geometry{1, 1, 1};
+    a.cfg.mode = cache::Mode::DistributedWrite;
+    a.cfg.program = {
         {{0, 0, true, 1}, {0, 0, true, 2}},
         {{1, 0, false, 0}, {1, 0, false, 0}},
     };
-    cfgs.push_back(a);
+    a.refineLeg = true;
+    rows.push_back(a);
 
-    VerifyConfig ag = a;
-    ag.name = "A-gr";
-    ag.mode = cache::Mode::GlobalRead;
-    cfgs.push_back(ag);
+    Row ag = a;
+    ag.cfg.name = "A-gr";
+    ag.cfg.mode = cache::Mode::GlobalRead;
+    rows.push_back(ag);
 
-    VerifyConfig b;
-    b.name = "B-3cpu";
-    b.nodes = 4;
-    b.geometry = cache::Geometry{1, 1, 1};
-    b.mode = cache::Mode::DistributedWrite;
-    b.program = {
-        {{0, 0, true, 7}},
-        {{1, 0, false, 0}},
-        {{2, 0, false, 0}},
+    Row b;
+    b.cfg.name = "B-3cpu";
+    b.cfg.nodes = 4;
+    b.cfg.geometry = cache::Geometry{1, 1, 1};
+    b.cfg.mode = cache::Mode::DistributedWrite;
+    b.cfg.program = {
+        {{0, 0, true, 7}, {0, 0, true, 8}},
+        {{1, 0, false, 0}, {1, 1, false, 0},
+         {1, 0, false, 0}, {1, 1, false, 0}},
+        {{2, 1, true, 9}, {2, 1, true, 10}},
     };
-    b.opt.maxStates = 200000;
-    cfgs.push_back(b);
+    b.cfg.opt.maxStates = 1u << 20;
+    rows.push_back(b);
 
-    VerifyConfig c;
-    c.name = "C-evict";
-    c.nodes = 2;
-    c.geometry = cache::Geometry{1, 1, 1};
-    c.mode = cache::Mode::DistributedWrite;
-    c.program = {
+    Row bg;
+    bg.cfg.name = "B-gr2blk";
+    bg.cfg.nodes = 4;
+    bg.cfg.geometry = cache::Geometry{1, 1, 1};
+    bg.cfg.mode = cache::Mode::GlobalRead;
+    bg.cfg.program = {
+        {{0, 0, true, 7}, {0, 1, true, 8}},
+        {{1, 0, false, 0}, {1, 1, false, 0}},
+        {{2, 0, false, 0}, {2, 1, false, 0}},
+    };
+    bg.cfg.opt.maxStates = 1u << 20;
+    rows.push_back(bg);
+
+    Row c;
+    c.cfg.name = "C-evict";
+    c.cfg.nodes = 2;
+    c.cfg.geometry = cache::Geometry{1, 1, 1};
+    c.cfg.mode = cache::Mode::DistributedWrite;
+    c.cfg.program = {
         {{0, 0, true, 1}, {0, 1, true, 2}, {0, 0, false, 0}},
         {{1, 1, false, 0}},
     };
-    cfgs.push_back(c);
+    rows.push_back(c);
 
-    VerifyConfig d;
-    d.name = "D-timeout";
-    d.nodes = 2;
-    d.geometry = cache::Geometry{1, 1, 1};
-    d.mode = cache::Mode::DistributedWrite;
-    d.program = {
+    Row d;
+    d.cfg.name = "D-timeout";
+    d.cfg.nodes = 2;
+    d.cfg.geometry = cache::Geometry{1, 1, 1};
+    d.cfg.mode = cache::Mode::DistributedWrite;
+    d.cfg.program = {
         {{0, 0, true, 1}},
         {{1, 0, false, 0}},
     };
-    d.opt.timeoutBase = 1;
-    d.opt.maxRetries = 1;
-    cfgs.push_back(d);
+    d.cfg.opt.timeoutBase = 1;
+    d.cfg.opt.maxRetries = 1;
+    rows.push_back(d);
 
-    VerifyConfig e = d;
-    e.name = "E-crash";
-    e.opt.crashBudget = 1;
-    e.opt.allowRejoin = false;
-    e.opt.maxDepth = 40;
-    e.opt.maxStates = 30000;
-    cfgs.push_back(e);
+    Row e = d;
+    e.cfg.name = "E-crash";
+    e.cfg.opt.crashBudget = 1;
+    e.cfg.opt.allowRejoin = false;
+    e.cfg.opt.dedupResends = true;
+    rows.push_back(e);
 
-    return cfgs;
+    return rows;
+}
+
+/** Verdict + settled-coverage identity between full and POR runs. */
+bool
+audit(const ExploreResult &full, const ExploreResult &por)
+{
+    return full.complete == por.complete &&
+           full.violations.empty() == por.violations.empty() &&
+           full.settledUnique == por.settledUnique &&
+           full.settledDigest == por.settledDigest;
+}
+
+void
+runRow(Row &row, bool audit_only)
+{
+    VerifyConfig cf = row.cfg;
+    cf.opt.por = false;
+    Explorer exf(cf);
+    row.full = exf.explore();
+    if (!row.full.violations.empty()) {
+        const auto &v = row.full.violations[0];
+        row.render =
+            Explorer::renderViolation(cf, v, exf.minimize(v));
+    }
+
+    VerifyConfig cp = row.cfg;
+    cp.opt.por = true;
+    Explorer exp(cp);
+    row.por = exp.explore();
+    if (row.render.empty() && !row.por.violations.empty()) {
+        const auto &v = row.por.violations[0];
+        row.render =
+            Explorer::renderViolation(cp, v, exp.minimize(v));
+    }
+
+    row.auditOk = audit(row.full, row.por);
+    if (audit_only)
+        return;
+
+    if (row.full.complete && row.full.violations.empty()) {
+        row.live = verify::checkLiveness(row.cfg);
+        if (row.render.empty() && !row.live.violations.empty()) {
+            const auto &v = row.live.violations[0];
+            row.render = Explorer::renderViolation(
+                row.cfg, v, verify::minimizeLasso(row.cfg, v));
+        }
+    }
+    if (row.refineLeg) {
+        row.refine = verify::checkRefinement(row.cfg);
+        if (row.render.empty() && !row.refine.violations.empty())
+            row.render = Explorer::renderViolation(
+                row.cfg, row.refine.violations[0],
+                row.refine.violations[0]);
+    }
+}
+
+/** "clean" / "LIVELOCK" / "-" style cell for an optional leg. */
+const char *
+legCell(const ExploreResult &r, bool ran, const char *bad)
+{
+    if (!ran)
+        return "-";
+    if (!r.violations.empty())
+        return bad;
+    return r.complete ? "clean" : "partial";
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool audit_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--por-audit") == 0) {
+            audit_only = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--por-audit]\n", argv[0]);
+            return 2;
+        }
+    }
+
     core::BenchJson json("verify_sweep");
     setLogLevel(LogLevel::Silent);
 
-    std::vector<VerifyConfig> cfgs = matrix();
-    std::vector<ExploreResult> results(cfgs.size());
-    std::vector<std::string> renders(cfgs.size());
+    std::vector<Row> rows = matrix();
 
-    ThreadPool::parallelFor(
-        cfgs.size(), ThreadPool::defaultThreads(),
-        [&](std::size_t i) {
-            Explorer ex(cfgs[i]);
-            results[i] = ex.explore();
-            if (!results[i].violations.empty()) {
-                const auto &v = results[i].violations[0];
-                renders[i] = Explorer::renderViolation(
-                    cfgs[i], v, ex.minimize(v));
-            }
-        });
+    ThreadPool::parallelFor(rows.size(),
+                            ThreadPool::defaultThreads(),
+                            [&](std::size_t i) {
+                                runRow(rows[i], audit_only);
+                            });
 
-    std::printf("%-10s %9s %9s %8s %10s %7s %s\n", "config",
-                "states", "edges", "settled", "prunedSeen", "depth",
-                "verdict");
+    std::printf("%-10s %9s %9s %6s %8s %6s %9s %8s %7s %s\n",
+                "config", "full", "por", "ratio", "settled",
+                "depth", "liveness", "refine", "audit", "verdict");
     bool failed = false;
     std::uint64_t totalStates = 0, totalEdges = 0;
-    for (std::size_t i = 0; i < cfgs.size(); ++i) {
-        const ExploreResult &r = results[i];
+    for (Row &row : rows) {
+        const ExploreResult &r = row.full;
+        bool liveRan = !audit_only && r.complete &&
+                       r.violations.empty();
+        bool refineRan = !audit_only && row.refineLeg;
         const char *verdict =
-            !r.violations.empty() ? "VIOLATION"
-            : r.complete          ? "exhausted"
-                                  : "budgeted";
-        std::printf("%-10s %9llu %9llu %8llu %10llu %7u %s\n",
-                    cfgs[i].name.c_str(),
-                    static_cast<unsigned long long>(r.states),
-                    static_cast<unsigned long long>(r.edges),
-                    static_cast<unsigned long long>(
-                        r.settledStates),
-                    static_cast<unsigned long long>(r.prunedSeen),
-                    r.maxDepthReached, verdict);
-        if (!r.violations.empty()) {
-            std::fprintf(stderr, "%s", renders[i].c_str());
+            !r.violations.empty() || !row.por.violations.empty()
+                ? "VIOLATION"
+            : r.complete ? "exhausted"
+                         : "budgeted";
+        double ratio = row.por.states
+                           ? static_cast<double>(r.states) /
+                                 static_cast<double>(row.por.states)
+                           : 0.0;
+        std::printf(
+            "%-10s %9llu %9llu %5.2fx %8llu %6u %9s %8s %7s %s\n",
+            row.cfg.name.c_str(),
+            static_cast<unsigned long long>(r.states),
+            static_cast<unsigned long long>(row.por.states), ratio,
+            static_cast<unsigned long long>(r.settledUnique),
+            r.maxDepthReached,
+            legCell(row.live, liveRan, "LIVELOCK"),
+            legCell(row.refine, refineRan, "GAP"),
+            row.auditOk ? "OK" : "MISMATCH", verdict);
+        if (!row.render.empty()) {
+            std::fprintf(stderr, "%s", row.render.c_str());
             failed = true;
         }
+        if (!row.auditOk) {
+            std::fprintf(
+                stderr,
+                "POR AUDIT MISMATCH on %s: full(complete=%d "
+                "settledU=%llu digest=%016llx) != por(complete=%d "
+                "settledU=%llu digest=%016llx)\n",
+                row.cfg.name.c_str(), row.full.complete ? 1 : 0,
+                static_cast<unsigned long long>(
+                    row.full.settledUnique),
+                static_cast<unsigned long long>(
+                    row.full.settledDigest),
+                row.por.complete ? 1 : 0,
+                static_cast<unsigned long long>(
+                    row.por.settledUnique),
+                static_cast<unsigned long long>(
+                    row.por.settledDigest));
+            failed = true;
+        }
+        if (liveRan && !row.live.violations.empty())
+            failed = true;
+        if (refineRan && (!row.refine.violations.empty() ||
+                          !row.refine.complete))
+            failed = true;
         totalStates += r.states;
         totalEdges += r.edges;
 
-        std::string p = "verify_" + cfgs[i].name;
-        json.metric((p + "_states").c_str(), r.states);
-        json.metric((p + "_edges").c_str(), r.edges);
-        json.metric((p + "_settled").c_str(), r.settledStates);
-        json.metric((p + "_pruned_seen").c_str(), r.prunedSeen);
+        std::string p = "verify_" + row.cfg.name;
+        json.metric((p + "_states_full").c_str(), r.states);
+        json.metric((p + "_states_por").c_str(), row.por.states);
+        json.metric((p + "_edges_full").c_str(), r.edges);
+        json.metric((p + "_settled_unique").c_str(),
+                    r.settledUnique);
         json.metric((p + "_complete").c_str(),
                     static_cast<std::uint64_t>(r.complete ? 1 : 0));
+        json.metric((p + "_audit_ok").c_str(),
+                    static_cast<std::uint64_t>(row.auditOk ? 1
+                                                           : 0));
+        if (liveRan)
+            json.metric((p + "_liveness_states").c_str(),
+                        row.live.states);
     }
 
-    json.finish(cfgs.size(), totalEdges);
+    if (const char *out = std::getenv("MSCP_VERIFY_COVERAGE_OUT")) {
+        std::ofstream os(out, std::ios::binary);
+        os << "{\n  \"configs\": {\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &row = rows[i];
+            bool liveRan = !audit_only && row.full.complete &&
+                           row.full.violations.empty();
+            os << "    \"" << row.cfg.name << "\": {"
+               << "\"states_full\": " << row.full.states
+               << ", \"states_por\": " << row.por.states
+               << ", \"settled_unique\": "
+               << row.full.settledUnique
+               << ", \"complete\": "
+               << (row.full.complete ? 1 : 0)
+               << ", \"audit_ok\": " << (row.auditOk ? 1 : 0)
+               << ", \"violations\": "
+               << (row.full.violations.empty() &&
+                           row.por.violations.empty()
+                       ? 0
+                       : 1)
+               << ", \"liveness_clean\": "
+               << (liveRan && row.live.violations.empty() ? 1 : 0)
+               << ", \"refine_clean\": "
+               << (!audit_only && row.refineLeg &&
+                           row.refine.complete &&
+                           row.refine.violations.empty()
+                       ? 1
+                       : 0)
+               << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        os << "  }\n}\n";
+    }
+
+    json.finish(rows.size(), totalEdges);
     return failed ? 1 : 0;
 }

@@ -18,6 +18,16 @@ namespace mscp::proto
  * and is byte-identical to a build without the seam.
  */
 bool g_faultSeam = false;
+/**
+ * Deliberate-livelock seam for the liveness checker: when set, an
+ * owner NACKs every direct pointer-bypass read it could serve, and
+ * the nacked requester does not advance its pointer-retry counter
+ * -- so a reader holding a stale-but-correct owner hint ping-pongs
+ * LoadReq/NackNotOwner forever without making progress. Every
+ * message of the cycle is delivered (the cycle is weakly fair), so
+ * this is a genuine livelock, not a starved schedule.
+ */
+bool g_livelockSeam = false;
 #endif
 
 using cache::Mode;
@@ -290,10 +300,36 @@ ConcurrentProtocol::deliverSlot(std::uint32_t slot, NodeId dst)
 }
 
 void
+ConcurrentProtocol::vBuffer(Msg m)
+{
+    if (vDedupSends) {
+        auto same = [&m](const VerifyPending &p) {
+            const Msg &q = p.msg;
+            return q.type == m.type && q.src == m.src &&
+                   q.dst == m.dst && q.toMemory == m.toMemory &&
+                   q.blk == m.blk && q.requester == m.requester &&
+                   q.offset == m.offset && q.value == m.value &&
+                   q.seq == m.seq && q.tok == m.tok &&
+                   q.flag == m.flag &&
+                   q.field.state == m.field.state &&
+                   q.field.modified == m.field.modified &&
+                   q.field.owner == m.field.owner &&
+                   q.field.present == m.field.present &&
+                   q.data == m.data;
+        };
+        for (const VerifyPending &p : vPending) {
+            if (p.srcIsMem == vMemSend && same(p))
+                return; // verbatim copy already in flight: fold
+        }
+    }
+    vPending.push_back({std::move(m), vMemSend});
+}
+
+void
 ConcurrentProtocol::scheduleLocal(Msg m, Tick delay)
 {
     if (vControlled) {
-        vPending.push_back({std::move(m), vMemSend});
+        vBuffer(std::move(m));
         return;
     }
     NodeId dst = m.dst;
@@ -313,7 +349,7 @@ ConcurrentProtocol::send(Msg m)
     if (vControlled) {
         // Delivery order is the explorer's choice, not the
         // network's: park the message until an action picks it.
-        vPending.push_back({std::move(m), vMemSend});
+        vBuffer(std::move(m));
         return;
     }
     if (m.src == m.dst) {
@@ -375,7 +411,7 @@ ConcurrentProtocol::sendMulticastMsg(MsgType t, NodeId src,
         for (NodeId d : dests) {
             Msg copy = proto_msg;
             copy.dst = d;
-            vPending.push_back({std::move(copy), vMemSend});
+            vBuffer(std::move(copy));
         }
         return;
     }
@@ -464,6 +500,9 @@ ConcurrentProtocol::issueNext(NodeId cpu)
         ++ctrs.reads;
     }
     cs.opId = ++cs.opGen;
+    if (vControlled)
+        vObsLog.push_back({cpu, /*invoke=*/true, cs.ref.isWrite,
+                           cs.ref.addr, cs.ref.value});
     cs.opClass = cs.ref.isWrite ? OpClass::WriteMiss
         : OpClass::ReadMiss;
     trace(TraceEvent::Issue, cpu, cpu,
@@ -495,6 +534,11 @@ ConcurrentProtocol::completeRef(NodeId cpu)
         readLatSum += static_cast<double>(latency);
         ++readsDone;
     }
+    if (vControlled)
+        vObsLog.push_back({cpu, /*invoke=*/false, cs.ref.isWrite,
+                           cs.ref.addr,
+                           cs.ref.isWrite ? cs.ref.value
+                                          : cs.vSample});
     cs.pinnedTx.erase(params.geometry.blockOf(cs.ref.addr));
     cs.purged.erase(params.geometry.blockOf(cs.ref.addr));
     cs.active = false;
@@ -542,6 +586,7 @@ ConcurrentProtocol::startAccess(NodeId cpu)
         if (e && cache::isValid(e->field.state)) {
             ++ctrs.readHits;
             cs.array.touch(*e);
+            cs.vSample = e->data[off];
             checkReadSample(cs.ref.addr, e->data[off]);
             cs.opClass = OpClass::ReadHit;
             cs.phase = Phase::Commit;
@@ -981,6 +1026,7 @@ ConcurrentProtocol::serveForward(const Msg &m)
         }
         if (m.type == MsgType::LoadFwd) {
             unsigned off = params.geometry.offsetOf(cs.ref.addr);
+            cs.vSample = e->data[off];
             checkReadSample(cs.ref.addr, e->data[off]);
             completeRef(me);
         } else {
@@ -1146,7 +1192,12 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
         // Direct pointer-bypass read.
         if (crashEnabled() && deadNodes.test(m.requester))
             return; // requester died with its request in flight
-        if (e && cache::isOwned(e->field.state)) {
+        bool canServe = e && cache::isOwned(e->field.state);
+#ifdef MSCP_FAULT_SEAM
+        if (g_livelockSeam)
+            canServe = false; // refuse reads we own (livelock seam)
+#endif
+        if (canServe) {
             Mode mode = cache::modeOf(e->field.state);
             e->field.present.set(m.requester);
             if (mode == Mode::GlobalRead) {
@@ -1199,7 +1250,12 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             return;
         }
         ++ctrs.pointerNacks;
+#ifdef MSCP_FAULT_SEAM
+        if (!g_livelockSeam) // seam: never fall back to the home
+            ++cs.pointerRetries;
+#else
         ++cs.pointerRetries;
+#endif
         cs.pinnedTx.erase(m.blk);
         cs.phase = Phase::Idle;
         disarmTimeout(me);
@@ -1252,6 +1308,7 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
                 e->field.owner = m.src;
             }
         }
+        cs.vSample = m.value;
         completeRef(me);
         return;
       }
@@ -1264,12 +1321,20 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
         // WaitOwnXfer is a valid receiving phase: an upgrade whose
         // previous owner fully evicted is served from memory with
         // a DataBlock, not a transfer.
+        //
+        // A stale owning grant (its attempt superseded by a
+        // recovery restart) is NOT accepted: its payload is
+        // memory's value as of the old serve, and recovery may
+        // have let another write complete since. dropStaleReply
+        // releases the serve's busy period with flag=false, so the
+        // home never registers the refuser as owner.
+        bool grant = cache::isOwned(m.field.state);
         bool mine = cs.active && m.seq == cs.txSeq &&
             params.geometry.blockOf(cs.ref.addr) == m.blk &&
             (cs.phase == Phase::WaitHome ||
              cs.phase == Phase::WaitPointer ||
              cs.phase == Phase::WaitOwnXfer) &&
-            (!cs.ref.isWrite || cache::isOwned(m.field.state));
+            (!cs.ref.isWrite || grant);
         if (mine && crashEnabled() && cs.purged.contains(m.blk)) {
             if (cache::isOwned(m.field.state)) {
                 // An owning grant comes straight from memory, and a
@@ -1305,8 +1370,12 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             ub.dst = homeOf(m.blk);
             ub.toMemory = true;
             ub.blk = m.blk;
+            ub.requester = me;
             ub.tok = m.tok;
-            ub.flag = false;
+            // An owning grant from memory is confirmed here: the
+            // home registers us as owner only on this release, so
+            // a refused grant leaves the directory unowned.
+            ub.flag = grant;
             send(ub);
         }
         if (cs.ref.isWrite) {
@@ -1314,6 +1383,8 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
         } else {
             // The value was checked at its sampling point (owner
             // or home); the reply payload is authoritative.
+            cs.vSample =
+                m.data[params.geometry.offsetOf(cs.ref.addr)];
             completeRef(me);
         }
         return;
@@ -1354,8 +1425,18 @@ ConcurrentProtocol::handleCacheMsg(const Msg &m)
             }
             return;
         }
-        if (mine && crashEnabled())
-            cs.purged.erase(m.blk);
+        if (mine && crashEnabled() && cs.purged.contains(m.blk)) {
+            // Unlike an owning DataBlock grant (memory only serves
+            // those after the rebuild), a transfer comes from
+            // another cache and can have been launched before the
+            // reconstruction fence -- its field and present vector
+            // are pre-crash state. Hand the busy token back and
+            // re-run against the rebuilt directory; memory plus
+            // the durable-write log is authoritative after a
+            // crash, so the in-flight copy may be dropped.
+            restartPurgedTx(me, m);
+            return;
+        }
         panic_if(!e, "state transfer without an entry");
         panic_if(m.type == MsgType::StateXfer &&
                  e->field.state != State::UnOwned,
@@ -1798,9 +1879,22 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
     }
 
     if (owner == invalidNode) {
-        // No cached copy anywhere: serve from memory; the
-        // requester becomes the (exclusive) owner.
-        h.mem.blockStore().setOwner(blk, r);
+        // No cached copy anywhere: serve from memory under this
+        // block's busy period. Ownership is registered only when
+        // the requester's Unblock (flag=true) confirms it accepted
+        // the grant: a requester that a recovery restart already
+        // moved past refuses the grant and releases the busy with
+        // flag=false, leaving the directory unowned instead of
+        // pointing at a cache with no copy (the liveness checker
+        // finds that dangling registration as a weakly fair
+        // forward/suspect/restart cycle on the crash config).
+        h.busy.insert(blk);
+        std::uint64_t token = ++h.busyTokenGen;
+        h.busyToken[blk] = token;
+        if (crashEnabled()) {
+            h.busyReleaser[blk] = r;
+            h.busySince[blk] = eq.curTick();
+        }
         if (m.type == MsgType::LoadReq) {
             checkReadSample(params.geometry.baseOf(blk) + m.offset,
                             h.mem.readWord(blk, m.offset));
@@ -1817,8 +1911,9 @@ ConcurrentProtocol::processHomeRequest(HomeState &h, const Msg &m)
             (crashEnabled() && h.recoveredGR.contains(blk))
                 ? Mode::GlobalRead : params.defaultMode,
             true);
-        reply.flag = false; // no busy held
+        reply.flag = true; // busy held until the requester unblocks
         reply.seq = m.seq;
+        reply.tok = token;
         send(reply);
         return;
     }

@@ -451,6 +451,9 @@ class ConcurrentProtocol
         bool vDeferred = false;
         /** txSeq the armed (virtual) retry timer guards. */
         std::uint64_t vTimeoutSeq = 0;
+        /** Value the in-flight read accepted (the one its respond
+         *  observation will carry); set at the acceptance sites. */
+        std::uint64_t vSample = 0;
         /** @} */
 
         bool
@@ -548,6 +551,10 @@ class ConcurrentProtocol
     void deliverSlot(std::uint32_t slot, NodeId dst);
     /** Self/local delivery after @p delay ticks (no network). */
     void scheduleLocal(Msg m, Tick delay);
+    /** Controlled-mode buffering (all sends funnel here when
+     *  vControlled): parks the message in vPending, folding exact
+     *  duplicates when vDedupSends is set. */
+    void vBuffer(Msg m);
     /** @} */
 
     /** @{ cpu-side transaction steps */
@@ -755,6 +762,24 @@ class ConcurrentProtocol
     std::vector<VerifyPending> vPending;
     /** Dead nodes whose stabilization sweep is still pending. */
     std::vector<NodeId> vSweepPending;
+    /** Drop a controlled-mode send whose exact content is already
+     *  pending (VerifyOptions::dedupResends): timeout resends and
+     *  suspicion rounds are verbatim copies every handler absorbs
+     *  as duplicates, and folding them bounds the retry-storm
+     *  frontier so crash configs become exhaustible. */
+    bool vDedupSends = false;
+    /** One value-visible event (refine.hh observes these). */
+    struct VerifyObs
+    {
+        NodeId cpu = 0;
+        bool invoke = false;
+        bool isWrite = false;
+        Addr addr = 0;
+        std::uint64_t value = 0;
+    };
+    /** Invoke/respond events of the current action; the gateway
+     *  drains this after every apply. */
+    std::vector<VerifyObs> vObsLog;
     /** @} */
 
     /** Latency accounting. */

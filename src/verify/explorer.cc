@@ -1,13 +1,17 @@
 #include "explorer.hh"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "proto/message.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "verify/canon.hh"
+#include "verify/liveness.hh"
+#include "verify/por.hh"
 
 namespace mscp::verify
 {
@@ -49,6 +53,34 @@ describeAction(const Action &a)
                     static_cast<unsigned>(a.node));
 }
 
+/** Deterministic total order for the commutation normal form. */
+bool
+actionBefore(const Action &x, const Action &y)
+{
+    auto key = [](const Action &a) {
+        return std::make_tuple(
+            static_cast<unsigned>(a.kind),
+            static_cast<unsigned>(a.node),
+            static_cast<unsigned>(a.msgType),
+            static_cast<unsigned>(a.src),
+            static_cast<unsigned>(a.dst),
+            static_cast<unsigned>(a.srcIsMem),
+            static_cast<unsigned>(a.toMemory), a.blk, a.seq, a.fp);
+    };
+    return key(x) < key(y);
+}
+
+/** Order-independent mixer for the settled-coverage digest. */
+std::uint64_t
+mixHash(const Hash128 &h)
+{
+    std::uint64_t v = h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull);
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    return v;
+}
+
 } // anonymous namespace
 
 Explorer::Explorer(const VerifyConfig &cfg_) : cfg(cfg_) {}
@@ -66,29 +98,124 @@ Explorer::explore()
     SilenceLogging silent;
     ExploreResult res;
     EngineGateway gw(cfg);
+    const bool por = cfg.opt.por;
+
+    /** Sleep-set signature a state was (last) explored under; a
+     *  revisit whose sleep set is a superset explores nothing new
+     *  and prunes. Empty in full mode, so revisits always prune
+     *  and the exploration is the exact pre-POR DFS. */
+    struct StoredSleep
+    {
+        std::vector<std::uint64_t> keys; // sorted
+    };
 
     struct Frame
     {
         std::vector<Action> acts;
+        std::vector<ActionFootprint> fps; // parallel to acts
+        std::vector<Action> deferred;     // enabled \ ample
+        std::vector<ActionFootprint> deferredFps;
+        std::vector<SleepEntry> sleepIn;  // sorted by key
+        Hash128 h{};
         std::size_t next = 0;
     };
 
-    std::unordered_set<Hash128, Hash128Hasher> seen;
+    std::unordered_map<Hash128, StoredSleep, Hash128Hasher> seen;
+    std::unordered_map<Hash128, unsigned, Hash128Hasher> onStack;
+    std::unordered_set<Hash128, Hash128Hasher> settledSeen;
     std::vector<Frame> frames;
     std::vector<Action> path;
     bool engineDirty = false;
 
-    seen.insert(hashBytes(gw.canonical()));
+    auto sleepHas = [](const std::vector<SleepEntry> &sleep,
+                       std::uint64_t key) {
+        auto it = std::lower_bound(
+            sleep.begin(), sleep.end(), key,
+            [](const SleepEntry &e, std::uint64_t k) {
+                return e.key < k;
+            });
+        return it != sleep.end() && it->key == key;
+    };
+
+    // Build a frame for the state the gateway currently sits in
+    // (footprints inspect engine internals, so this must run before
+    // the DFS moves on).
+    auto buildFrame = [&](Hash128 h, std::vector<Action> &&enabled,
+                          std::vector<SleepEntry> &&sleepIn) {
+        Frame f;
+        f.h = h;
+        f.sleepIn = std::move(sleepIn);
+        for (Action &a : enabled) {
+            if (por && sleepHas(f.sleepIn, actionKey(a)))
+                continue; // covered by an explored sibling branch
+            f.fps.push_back(por ? gw.footprint(a)
+                                : ActionFootprint{});
+            f.acts.push_back(std::move(a));
+        }
+        if (por) {
+            // Ample set = every non-Deliver action plus the
+            // smallest dependence-closed cluster of Delivers; the
+            // remaining Deliver clusters defer.  Restricting the
+            // reduction to in-flight messages is what keeps it
+            // sound here: components are always input-enabled, so
+            // a deferred Issue/Timeout/Crash could react to state
+            // the ample moves create (the classic C1 leak -- an
+            // unrestricted smallest-cluster rule loses terminal
+            // settled states on the eviction config).  Deferred
+            // Delivers, by contrast, are concrete queued messages
+            // whose footprints are fixed at enqueue time, and the
+            // self-checking sweep audit (--por-audit) re-validates
+            // the verdict and the settled-state digests against a
+            // full run on every exhaustible config.
+            std::vector<std::size_t> deliverIdx;
+            std::vector<ActionFootprint> deliverFps;
+            for (std::size_t i = 0; i < f.acts.size(); ++i) {
+                if (f.acts[i].kind == ActionKind::Deliver) {
+                    deliverIdx.push_back(i);
+                    deliverFps.push_back(f.fps[i]);
+                }
+            }
+            std::vector<std::size_t> sub = ampleCluster(deliverFps);
+            if (!sub.empty()) {
+                std::vector<bool> keep(f.acts.size(), true);
+                for (std::size_t i : deliverIdx)
+                    keep[i] = false;
+                for (std::size_t k : sub)
+                    keep[deliverIdx[k]] = true;
+                std::vector<Action> acts;
+                std::vector<ActionFootprint> fps;
+                for (std::size_t i = 0; i < f.acts.size(); ++i) {
+                    if (keep[i]) {
+                        acts.push_back(std::move(f.acts[i]));
+                        fps.push_back(f.fps[i]);
+                    } else {
+                        f.deferred.push_back(std::move(f.acts[i]));
+                        f.deferredFps.push_back(f.fps[i]);
+                    }
+                }
+                f.acts = std::move(acts);
+                f.fps = std::move(fps);
+            }
+        }
+        return f;
+    };
+
+    Hash128 rootH = hashBytes(gw.canonical());
+    seen.emplace(rootH, StoredSleep{});
     res.states = 1;
-    frames.push_back({gw.enabledActions(), 0});
-    if (frames.back().acts.empty() && gw.refsOutstanding() > 0) {
-        Violation v;
-        v.kind = "deadlock";
-        v.details.push_back(
-            "initial state has outstanding references and no "
-            "enabled action");
-        res.violations.push_back(v);
-        return res;
+    {
+        std::vector<Action> acts = gw.enabledActions();
+        if (acts.empty() && gw.refsOutstanding() > 0) {
+            Violation v;
+            v.kind = "deadlock";
+            v.details.push_back(
+                "initial state has outstanding references and no "
+                "enabled action");
+            res.violations.push_back(v);
+            return res;
+        }
+        frames.push_back(buildFrame(rootH, std::move(acts), {}));
+        ++onStack[rootH];
     }
 
     auto fail = [&](std::string kind,
@@ -103,6 +230,9 @@ Explorer::explore()
     while (!frames.empty()) {
         Frame &f = frames.back();
         if (f.next >= f.acts.size()) {
+            auto os = onStack.find(f.h);
+            if (os != onStack.end() && --os->second == 0)
+                onStack.erase(os);
             frames.pop_back();
             if (!path.empty()) {
                 path.pop_back();
@@ -110,7 +240,8 @@ Explorer::explore()
             }
             continue;
         }
-        const Action a = f.acts[f.next++];
+        const std::size_t ai = f.next++;
+        const Action a = f.acts[ai];
 
         if (engineDirty) {
             gw.reset();
@@ -144,8 +275,14 @@ Explorer::explore()
                                gw.valueErrors()))});
             return res;
         }
+
+        Hash128 h = hashBytes(gw.canonical());
         if (gw.settled()) {
             ++res.settledStates;
+            if (settledSeen.insert(h).second) {
+                ++res.settledUnique;
+                res.settledDigest ^= mixHash(h);
+            }
             auto errs = gw.checkInvariants();
             if (!errs.empty()) {
                 fail(kindOf(errs[0]), errs);
@@ -163,17 +300,80 @@ Explorer::explore()
             return res;
         }
 
-        Hash128 h = hashBytes(gw.canonical());
-        if (!seen.insert(h).second) {
-            ++res.prunedSeen;
-            path.pop_back();
-            engineDirty = true;
-            continue;
+        // Cycle proviso: an ample successor closing a DFS cycle
+        // could postpone a deferred action forever around that
+        // cycle; re-expand the frame in full.
+        if (por && !f.deferred.empty() && onStack.count(h) > 0) {
+            for (std::size_t i = 0; i < f.deferred.size(); ++i) {
+                f.acts.push_back(std::move(f.deferred[i]));
+                f.fps.push_back(f.deferredFps[i]);
+            }
+            f.deferred.clear();
+            f.deferredFps.clear();
         }
-        ++res.states;
-        if (res.states >= cfg.opt.maxStates) {
-            res.budgetExhausted = true;
-            break;
+
+        // Sleep set of the successor: everything asleep here plus
+        // the already-explored siblings, minus whatever the taken
+        // action wakes (dependence).
+        std::vector<SleepEntry> childSleep;
+        if (por) {
+            const ActionFootprint &afp = f.fps[ai];
+            for (const SleepEntry &s : f.sleepIn)
+                if (!dependent(s.fp, afp))
+                    childSleep.push_back(s);
+            for (std::size_t j = 0; j < ai; ++j)
+                if (!dependent(f.fps[j], afp))
+                    childSleep.push_back(
+                        {actionKey(f.acts[j]), f.fps[j]});
+            std::sort(childSleep.begin(), childSleep.end(),
+                      [](const SleepEntry &x, const SleepEntry &y) {
+                          return x.key < y.key;
+                      });
+            childSleep.erase(
+                std::unique(childSleep.begin(), childSleep.end(),
+                            [](const SleepEntry &x,
+                               const SleepEntry &y) {
+                                return x.key == y.key;
+                            }),
+                childSleep.end());
+        }
+
+        auto it = seen.find(h);
+        if (it != seen.end()) {
+            // Revisit. Prune unless this visit carries a strictly
+            // smaller sleep set than the state was explored under
+            // (then transitions slept through before must run:
+            // shrink the stored set and re-explore).
+            bool superset = true;
+            if (por) {
+                for (std::uint64_t k : it->second.keys) {
+                    if (!sleepHas(childSleep, k)) {
+                        superset = false;
+                        break;
+                    }
+                }
+            }
+            if (superset) {
+                ++res.prunedSeen;
+                path.pop_back();
+                engineDirty = true;
+                continue;
+            }
+            std::vector<std::uint64_t> inter;
+            for (std::uint64_t k : it->second.keys)
+                if (sleepHas(childSleep, k))
+                    inter.push_back(k);
+            it->second.keys = std::move(inter);
+        } else {
+            StoredSleep st;
+            for (const SleepEntry &s : childSleep)
+                st.keys.push_back(s.key);
+            seen.emplace(h, std::move(st));
+            ++res.states;
+            if (res.states >= cfg.opt.maxStates) {
+                res.budgetExhausted = true;
+                break;
+            }
         }
         if (path.size() >= cfg.opt.maxDepth) {
             ++res.prunedDepth;
@@ -181,7 +381,9 @@ Explorer::explore()
             engineDirty = true;
             continue;
         }
-        frames.push_back({std::move(acts), 0});
+        frames.push_back(
+            buildFrame(h, std::move(acts), std::move(childSleep)));
+        ++onStack[h];
     }
 
     res.complete = res.violations.empty() && !res.budgetExhausted &&
@@ -218,9 +420,38 @@ Explorer::reproduces(EngineGateway &gw,
     return false;
 }
 
-std::vector<Action>
+void
+Explorer::normalizeTrace(EngineGateway &gw,
+                         std::vector<Action> &cur,
+                         const std::string &kind)
+{
+    // Bubble adjacent actions toward the canonical order whenever
+    // the swapped path still reproduces. Independent schedules of
+    // the same fault (a POR run enumerates interleavings in a
+    // different order than a full run) converge to one normal
+    // form; a swap that breaks reproduction is simply rejected, so
+    // correctness never rests on the independence relation here.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i + 1 < cur.size(); ++i) {
+            if (!actionBefore(cur[i + 1], cur[i]))
+                continue;
+            std::swap(cur[i], cur[i + 1]);
+            if (reproduces(gw, cur, kind))
+                changed = true;
+            else
+                std::swap(cur[i], cur[i + 1]);
+        }
+    }
+}
+
+Violation
 Explorer::minimize(const Violation &v)
 {
+    if (v.kind == "livelock")
+        return minimizeLasso(cfg, v);
+
     SilenceLogging silent;
     EngineGateway gw(cfg);
     std::vector<Action> cur = v.path;
@@ -245,13 +476,18 @@ Explorer::minimize(const Violation &v)
             }
         }
     }
-    return cur;
+    normalizeTrace(gw, cur, v.kind);
+    Violation out;
+    out.kind = v.kind;
+    out.details = v.details;
+    out.path = std::move(cur);
+    return out;
 }
 
 std::string
 Explorer::renderViolation(const VerifyConfig &cfg,
                           const Violation &v,
-                          const std::vector<Action> &minimized)
+                          const Violation &minimized)
 {
     std::ostringstream os;
     os << "mscp-verify counterexample\n";
@@ -272,10 +508,20 @@ Explorer::renderViolation(const VerifyConfig &cfg,
     for (const std::string &d : v.details)
         os << "detail: " << d << "\n";
     os << csprintf("steps: %zu (minimized from %zu)\n",
-                   minimized.size(), v.path.size());
-    for (std::size_t i = 0; i < minimized.size(); ++i)
+                   minimized.path.size(), v.path.size());
+    for (std::size_t i = 0; i < minimized.path.size(); ++i)
         os << csprintf("  %zu. %s\n", i + 1,
-                       describeAction(minimized[i]).c_str());
+                       describeAction(minimized.path[i]).c_str());
+    if (!minimized.cycle.empty()) {
+        os << csprintf(
+            "cycle: %zu step(s), repeating forever (minimized "
+            "from %zu)\n",
+            minimized.cycle.size(), v.cycle.size());
+        for (std::size_t i = 0; i < minimized.cycle.size(); ++i)
+            os << csprintf(
+                "  %zu. %s\n", minimized.path.size() + i + 1,
+                describeAction(minimized.cycle[i]).c_str());
+    }
     return os.str();
 }
 

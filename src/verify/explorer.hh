@@ -24,9 +24,21 @@ namespace mscp::verify
  * and restores states by deterministic replay of the action prefix
  * from a fresh reset. The seen-state set stores 128-bit hashes of
  * the canonical serialization; a revisited state prunes the
- * branch. Livelocks are therefore *pruned*, not detected: a cycle
- * of states revisits and stops. Deadlocks (no enabled action with
- * references outstanding) are reported as violations.
+ * branch. Deadlocks (no enabled action with references
+ * outstanding) are reported as violations.
+ *
+ * explore() checks *safety* only: a cycle of states revisits and
+ * stops without a verdict about progress. Livelock detection --
+ * "every issued operation eventually completes" under weak
+ * fairness on Deliver/Timeout -- is the liveness checker's job
+ * (liveness.hh), which rebuilds the full graph and analyzes its
+ * SCCs; its counterexamples flow through the same minimizer and
+ * renderers as safety violations.
+ *
+ * With VerifyOptions::por set, exploration is reduced by ample
+ * clusters (with the standard cycle proviso) and sleep sets over
+ * the independence relation in por.hh; verify_sweep's audit mode
+ * cross-checks reduced against full runs per config.
  *
  * After every action the explorer checks for value errors and
  * engine panics; the full I1..I10 invariant suite additionally
@@ -43,29 +55,32 @@ class Explorer
     ExploreResult explore();
 
     /**
-     * Delta-debug a violating path down to a locally minimal one:
-     * single-action removal passes to fixpoint. A candidate is
-     * accepted when every remaining action replays feasibly and a
-     * violation of the same kind occurs at any point.
+     * Delta-debug a violation down to a locally minimal one:
+     * single-action removal passes to fixpoint, then a commutation
+     * normal form (adjacent swaps toward a canonical action order,
+     * each gated on still reproducing) so independent schedules of
+     * the same fault -- e.g. a POR and a full run -- minimize to
+     * the same counterexample. Livelock lassos minimize prefix and
+     * cycle separately (liveness.hh).
      */
-    std::vector<Action> minimize(const Violation &v);
+    Violation minimize(const Violation &v);
 
     /**
      * Deterministic text rendering (stable across runs, thread
      * counts and hosts: no ticks, no pointers, no hashes), used
-     * for golden-file comparison.
+     * for golden-file comparison. @p minimized is the result of
+     * minimize(v) (pass @p v itself to render unminimized).
      */
     static std::string renderViolation(const VerifyConfig &cfg,
                                        const Violation &v,
-                                       const std::vector<Action> &
-                                           minimized);
+                                       const Violation &minimized);
 
     /**
      * Replay @p path on a trace-enabled engine and export the
      * recording as Chrome trace_event JSON (Perfetto-loadable).
      * Each action boundary is marked with a VerifyAction instant.
-     * No-op output (an empty JSON array) when tracing is compiled
-     * out.
+     * For a lasso, pass prefix+cycle concatenated. No-op output
+     * (an empty JSON array) when tracing is compiled out.
      */
     static void exportTrace(const VerifyConfig &cfg,
                             const std::vector<Action> &path,
@@ -82,6 +97,10 @@ class Explorer
     bool reproduces(EngineGateway &gw,
                     const std::vector<Action> &actions,
                     const std::string &kind);
+
+    /** Commutation normal form of a minimal path (see minimize). */
+    void normalizeTrace(EngineGateway &gw, std::vector<Action> &cur,
+                        const std::string &kind);
 
     VerifyConfig cfg;
 };

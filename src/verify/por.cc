@@ -1,0 +1,90 @@
+#include "por.hh"
+
+#include <numeric>
+
+#include "verify/state.hh"
+
+namespace mscp::verify
+{
+
+bool
+dependent(const ActionFootprint &a, const ActionFootprint &b)
+{
+    if (a.global || b.global)
+        return true;
+    if ((a.comps & b.comps) != 0)
+        return true;
+    if (a.hasMon && b.hasMon && a.monBlk == b.monBlk &&
+        (a.monWrite || b.monWrite))
+        return true;
+    return false;
+}
+
+std::uint64_t
+actionKey(const Action &a)
+{
+    if (a.kind == ActionKind::Deliver)
+        return a.fp;
+    return (static_cast<std::uint64_t>(a.kind) << 32) |
+           static_cast<std::uint64_t>(a.node);
+}
+
+std::vector<std::size_t>
+ampleCluster(const std::vector<ActionFootprint> &fps)
+{
+    const std::size_t n = fps.size();
+    if (n < 2)
+        return {};
+    for (const ActionFootprint &f : fps)
+        if (f.global)
+            return {};
+
+    // Union-find over pairwise dependence: clusters are closed
+    // under dependence by construction, so expanding one defers
+    // whole others.
+    std::vector<std::size_t> parent(n);
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    auto find = [&parent](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (dependent(fps[i], fps[j]))
+                parent[find(i)] = find(j);
+        }
+    }
+
+    std::vector<std::size_t> size(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++size[find(i)];
+
+    // Smallest cluster wins; among equals, the one whose first
+    // member enumerates earliest (deterministic across runs).
+    std::size_t bestRoot = n;
+    std::size_t bestSize = 0;
+    std::vector<bool> seenRoot(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = find(i);
+        if (seenRoot[r])
+            continue;
+        seenRoot[r] = true;
+        if (bestRoot == n || size[r] < bestSize) {
+            bestRoot = r;
+            bestSize = size[r];
+        }
+    }
+    if (bestSize == n)
+        return {}; // one cluster: no reduction
+    std::vector<std::size_t> out;
+    out.reserve(bestSize);
+    for (std::size_t i = 0; i < n; ++i)
+        if (find(i) == bestRoot)
+            out.push_back(i);
+    return out;
+}
+
+} // namespace mscp::verify

@@ -111,6 +111,7 @@ EngineGateway::buildEngine()
 
     eng = std::make_unique<Engine>(*net, p);
     eng->vControlled = true;
+    eng->vDedupSends = cfg.opt.dedupResends;
 
     std::uint64_t total = 0;
     for (std::size_t c = 0; c < cfg.program.size(); ++c) {
@@ -502,6 +503,100 @@ EngineGateway::applyIfEnabled(const Action &a)
     b.index = static_cast<std::uint32_t>(found);
     apply(b);
     return true;
+}
+
+ActionFootprint
+EngineGateway::footprint(const Action &a) const
+{
+    ActionFootprint f;
+    auto cpuComp = [](NodeId c) { return std::uint64_t{1} << c; };
+    auto homeComp = [](NodeId h) {
+        return std::uint64_t{1} << (32 + (h & 31));
+    };
+    auto mon = [&f, this](Addr addr, bool write) {
+        f.hasMon = 1;
+        f.monWrite = write ? 1 : 0;
+        f.monBlk = cfg.geometry.blockOf(addr);
+    };
+
+    switch (a.kind) {
+      case ActionKind::Issue: {
+        // startAccess runs at the issuing cpu and only appends to
+        // streams originating there; a write registers a pending
+        // monitor value, a read may sample on a hit.
+        f.comps = cpuComp(a.node);
+        const auto &q = eng->cpus[a.node].queue;
+        if (!q.empty())
+            mon(q.front().addr, q.front().isWrite);
+        break;
+      }
+      case ActionKind::Commit:
+      case ActionKind::Retry:
+      case ActionKind::Timeout: {
+        // All three continue the cpu's current reference: a commit
+        // completes it (monitor write for writes), a retry re-runs
+        // startAccess (may sample on a hit), a timeout resends or
+        // -- under a crash plan -- falls back through startAccess.
+        f.comps = cpuComp(a.node);
+        const auto &cs = eng->cpus[a.node];
+        if (cs.active)
+            mon(cs.ref.addr, cs.ref.isWrite);
+        break;
+      }
+      case ActionKind::Deliver: {
+        // A handler executes at the destination component and only
+        // appends to streams originating there. The monitor is
+        // touched by serves (read sampling: LoadReq either side,
+        // LoadFwd at the owner) and by acks whose last arrival
+        // completes a write (DwAck, InvalAck).
+        f.comps = a.toMemory ? homeComp(a.dst) : cpuComp(a.dst);
+        auto t = static_cast<proto::MsgType>(a.msgType);
+        Addr base = cfg.geometry.baseOf(a.blk);
+        if (t == proto::MsgType::LoadReq ||
+            t == proto::MsgType::LoadFwd) {
+            mon(base, /*write=*/false);
+        } else if (t == proto::MsgType::DwAck ||
+                   t == proto::MsgType::InvalAck) {
+            mon(base, /*write=*/true);
+        }
+        break;
+      }
+      case ActionKind::Sweep:
+      case ActionKind::Rejoin:
+      case ActionKind::Crash:
+      default:
+        // Cross-component effects (deadNodes, recovery fences,
+        // whole-node purges): dependent on everything.
+        f.global = 1;
+        break;
+    }
+    return f;
+}
+
+std::vector<ObsEvent>
+EngineGateway::takeObservations()
+{
+    std::vector<ObsEvent> out;
+    out.reserve(eng->vObsLog.size());
+    for (const auto &o : eng->vObsLog)
+        out.push_back({o.cpu, o.invoke, o.isWrite, o.addr, o.value});
+    eng->vObsLog.clear();
+    return out;
+}
+
+std::vector<std::uint64_t>
+EngineGateway::pendingSamples() const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &cs : eng->cpus) {
+        // Only an active read's accepted sample is observable state
+        // (its respond event will carry it); anything else is
+        // stale scratch.
+        bool pendingRead = cs.active && !cs.ref.isWrite;
+        out.push_back(pendingRead ? cs.vSample : 0);
+        out.push_back(pendingRead ? 1 : 0);
+    }
+    return out;
 }
 
 std::vector<std::string>

@@ -39,6 +39,7 @@
 
 #include "net/omega_network.hh"
 #include "proto/concurrent.hh"
+#include "verify/por.hh"
 #include "workload/ref_stream.hh"
 
 namespace mscp::verify
@@ -114,6 +115,23 @@ struct VerifyOptions
      *  Timeout actions. */
     Tick timeoutBase = 0;
     unsigned maxRetries = 1;
+    /**
+     * Partial-order reduction (por.hh): ample clusters with the
+     * cycle proviso plus sleep sets. Heuristic over a hand-derived
+     * independence relation -- verify_sweep's audit mode re-checks
+     * it against full exploration per config.
+     */
+    bool por = false;
+    /**
+     * Suppress buffering a controlled-mode send whose exact content
+     * is already pending. Timeout resends and suspicion rounds
+     * re-send verbatim copies whose delivery every handler absorbs
+     * as a duplicate; folding them bounds the otherwise unbounded
+     * retry-storm frontier so crash configs become exhaustible.
+     * A modeling reduction like fifoChannels: explored behaviors
+     * are a subset of the unrestricted interleavings.
+     */
+    bool dedupResends = false;
 };
 
 /** One model-checking configuration. */
@@ -135,10 +153,18 @@ struct VerifyConfig
 /** A property violation plus the action path that reaches it. */
 struct Violation
 {
-    /** "I1".."I10", "NQ", "value", "deadlock" or "panic". */
+    /** "I1".."I10", "NQ", "value", "deadlock", "panic" or
+     *  "livelock". */
     std::string kind;
     std::vector<std::string> details;
     std::vector<Action> path;
+    /**
+     * Livelock lasso cycle: replaying @c path reaches the cycle's
+     * anchor state, replaying @c cycle returns to it with
+     * references still outstanding and weak fairness respected.
+     * Empty for safety violations.
+     */
+    std::vector<Action> cycle;
 };
 
 /** Exploration outcome and coverage statistics. */
@@ -149,11 +175,33 @@ struct ExploreResult
     std::uint64_t prunedSeen = 0;  ///< revisits cut by the seen set
     std::uint64_t prunedDepth = 0; ///< paths cut by maxDepth
     std::uint64_t settledStates = 0; ///< invariant-checked states
+    /** Distinct settled canonical states (coverage identity). */
+    std::uint64_t settledUnique = 0;
+    /** Order-independent digest over the distinct settled states;
+     *  the POR audit asserts full and reduced runs agree. */
+    std::uint64_t settledDigest = 0;
     unsigned maxDepthReached = 0;
     bool budgetExhausted = false;  ///< maxStates hit
     /** Exhaustive: no violation, no budget/depth truncation. */
     bool complete = false;
     std::vector<Violation> violations; ///< first violation found
+};
+
+/**
+ * One value-visible event of the implementation: a program
+ * reference starting (invoke) or finishing (respond). The
+ * refinement harness (refine.hh) checks the sequence of these
+ * against the linearizability specification.
+ */
+struct ObsEvent
+{
+    NodeId cpu = 0;
+    bool invoke = false;  ///< invocation vs response
+    bool isWrite = false;
+    Addr addr = 0;
+    /** Write: the value written (known at invoke). Read: the value
+     *  the reference returned (respond only). */
+    std::uint64_t value = 0;
 };
 
 /**
@@ -225,6 +273,27 @@ class EngineGateway
     /** Record a VerifyAction instant in the engine's tracer (used
      *  by counterexample replays to mark action boundaries). */
     void markAction(const Action &a, std::uint64_t step);
+
+    /**
+     * Static independence footprint of an enabled action (por.hh):
+     * the component it executes at, plus the monitor block it may
+     * sample or update. Must be called in the state the action was
+     * enumerated in (Issue inspects the queue head).
+     */
+    ActionFootprint footprint(const Action &a) const;
+
+    /** Drain the observable events the last apply() emitted
+     *  (controlled-mode invoke/respond log). */
+    std::vector<ObsEvent> takeObservations();
+
+    /**
+     * Auxiliary observable state the canonical serialization omits:
+     * the pending read-sample per active read (the value a respond
+     * will carry). The refinement harness folds this into its seen
+     * key so states differing only in an accepted-but-uncommitted
+     * read value stay distinct.
+     */
+    std::vector<std::uint64_t> pendingSamples() const;
 
     const VerifyConfig &config() const { return cfg; }
     const Tracer &tracer() const;

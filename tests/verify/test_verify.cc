@@ -11,6 +11,8 @@
 
 #include "verify/canon.hh"
 #include "verify/explorer.hh"
+#include "verify/liveness.hh"
+#include "verify/refine.hh"
 #include "verify/state.hh"
 
 using namespace mscp;
@@ -50,7 +52,7 @@ TEST(Verify, ExhaustiveCleanDistributedWrite)
     ExploreResult res = ex.explore();
     if (!res.violations.empty()) {
         ADD_FAILURE() << Explorer::renderViolation(
-            cfg, res.violations[0], res.violations[0].path);
+            cfg, res.violations[0], res.violations[0]);
     }
     EXPECT_TRUE(res.complete);
     EXPECT_GT(res.states, 10u);
@@ -155,11 +157,19 @@ TEST(Verify, CrashConfigStaysClean)
     ExploreResult res = Explorer(cfg).explore();
     if (!res.violations.empty()) {
         ADD_FAILURE() << Explorer::renderViolation(
-            cfg, res.violations[0], res.violations[0].path);
+            cfg, res.violations[0], res.violations[0]);
     }
 }
 
-TEST(Verify, ThreeNodeConfigUnderBudget)
+namespace
+{
+
+/** The sweep's 3-active-cpu acceptance config: two writers on
+ *  different blocks, a cross-reader between them, one set so the
+ *  blocks contend for the same frame. Previously budget-capped at
+ *  20000 states; POR exhausts it. */
+VerifyConfig
+threeCpuConfig()
 {
     VerifyConfig cfg;
     cfg.name = "B-3cpu";
@@ -167,14 +177,149 @@ TEST(Verify, ThreeNodeConfigUnderBudget)
     cfg.geometry = cache::Geometry{1, 1, 1};
     cfg.mode = cache::Mode::DistributedWrite;
     cfg.program = {
-        {{0, 0, true, 7}},
-        {{1, 0, false, 0}},
-        {{2, 0, false, 0}},
+        {{0, 0, true, 7}, {0, 0, true, 8}},
+        {{1, 0, false, 0}, {1, 1, false, 0},
+         {1, 0, false, 0}, {1, 1, false, 0}},
+        {{2, 1, true, 9}, {2, 1, true, 10}},
     };
-    cfg.opt.maxStates = 20000;
+    cfg.opt.maxStates = 1u << 20;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(Verify, PorExhaustsThreeCpuConfig)
+{
+    // The headline POR win: this config overran its former 20000
+    // -state budget unreduced (the sweep audits full-vs-reduced and
+    // records >= 5x in tests/verify/sweep_baseline.json); reduced,
+    // it exhausts well under that budget.
+    VerifyConfig cfg = threeCpuConfig();
+    cfg.opt.por = true;
     ExploreResult res = Explorer(cfg).explore();
     EXPECT_TRUE(res.violations.empty());
-    EXPECT_GT(res.states, 100u);
+    EXPECT_TRUE(res.complete);
+    EXPECT_GT(res.states, 1000u);
+    EXPECT_LT(res.states, 20000u);
+}
+
+TEST(Verify, PorAuditMatchesFullExploration)
+{
+    // The self-check the sweep's --por-audit mode runs on every
+    // config: the reduced exploration must reach the same verdict
+    // and the same settled-state invariant coverage as the full
+    // one. A lighter two-set 3-cpu variant keeps the full leg fast.
+    std::vector<VerifyConfig> cfgs;
+    cfgs.push_back(smallConfig(cache::Mode::DistributedWrite));
+    cfgs.push_back(smallConfig(cache::Mode::GlobalRead));
+    VerifyConfig b = threeCpuConfig();
+    b.name = "B-3cpu-2set";
+    b.geometry = cache::Geometry{1, 1, 2};
+    cfgs.push_back(b);
+
+    for (const VerifyConfig &base : cfgs) {
+        VerifyConfig full = base;
+        full.opt.por = false;
+        VerifyConfig red = base;
+        red.opt.por = true;
+        ExploreResult rf = Explorer(full).explore();
+        ExploreResult rr = Explorer(red).explore();
+        EXPECT_EQ(rf.complete, rr.complete) << base.name;
+        EXPECT_EQ(rf.violations.empty(), rr.violations.empty())
+            << base.name;
+        EXPECT_EQ(rf.settledUnique, rr.settledUnique) << base.name;
+        EXPECT_EQ(rf.settledDigest, rr.settledDigest) << base.name;
+        EXPECT_LE(rr.states, rf.states) << base.name;
+    }
+}
+
+TEST(Verify, LivenessCleanOnHealthyConfigs)
+{
+    // "Every issued operation eventually completes" under weak
+    // fairness: the healthy engine must have no fair accepting
+    // cycle on any exhaustible config.
+    std::vector<VerifyConfig> cfgs;
+    cfgs.push_back(smallConfig(cache::Mode::DistributedWrite));
+    cfgs.push_back(smallConfig(cache::Mode::GlobalRead));
+    VerifyConfig t = smallConfig(cache::Mode::DistributedWrite);
+    t.name = "timeout";
+    t.program = {{{0, 0, true, 1}}, {{1, 0, false, 0}}};
+    t.opt.timeoutBase = 1;
+    t.opt.maxRetries = 1;
+    cfgs.push_back(t);
+
+    for (const VerifyConfig &cfg : cfgs) {
+        ExploreResult res = verify::checkLiveness(cfg);
+        EXPECT_TRUE(res.complete) << cfg.name;
+        if (!res.violations.empty()) {
+            ADD_FAILURE() << cfg.name << ":\n"
+                          << Explorer::renderViolation(
+                                 cfg, res.violations[0],
+                                 res.violations[0]);
+        }
+    }
+}
+
+TEST(Verify, RefinementHoldsOnAcceptanceConfigs)
+{
+    // Trace inclusion in the atomic-register spec == the engine's
+    // observable reads/writes are linearizable, in both modes.
+    for (cache::Mode mode : {cache::Mode::DistributedWrite,
+                             cache::Mode::GlobalRead}) {
+        VerifyConfig cfg = smallConfig(mode);
+        ExploreResult res = verify::checkRefinement(cfg);
+        EXPECT_TRUE(res.complete) << cfg.name;
+        EXPECT_TRUE(res.violations.empty()) << cfg.name;
+    }
+}
+
+TEST(Verify, RefinementHoldsWithTwoWriters)
+{
+    // Two writers racing on one block: the single-value completion
+    // monitor cannot judge these runs (completion order differs
+    // from linearization order), but the refinement checker can --
+    // and the engine must pass it.
+    VerifyConfig cfg;
+    cfg.name = "W2-dw";
+    cfg.nodes = 2;
+    cfg.geometry = cache::Geometry{1, 1, 1};
+    cfg.mode = cache::Mode::DistributedWrite;
+    cfg.program = {
+        {{0, 0, true, 1}},
+        {{1, 0, true, 2}, {1, 0, false, 0}},
+    };
+    ExploreResult dw = verify::checkRefinement(cfg);
+    EXPECT_TRUE(dw.complete);
+    EXPECT_TRUE(dw.violations.empty());
+
+    cfg.name = "W2-gr";
+    cfg.mode = cache::Mode::GlobalRead;
+    ExploreResult gr = verify::checkRefinement(cfg);
+    EXPECT_TRUE(gr.complete);
+    EXPECT_TRUE(gr.violations.empty());
+}
+
+TEST(Verify, CrashConfigExhaustsWithResendDedup)
+{
+    // The sweep's E-crash row: folding exact-duplicate resends
+    // bounds the retry storm, so one budgeted crash explores to
+    // closure (previously capped at depth 40 / 30000 states).
+    VerifyConfig cfg = smallConfig(cache::Mode::DistributedWrite);
+    cfg.name = "E-crash";
+    cfg.program = {{{0, 0, true, 1}}, {{1, 0, false, 0}}};
+    cfg.opt.crashBudget = 1;
+    cfg.opt.allowRejoin = false;
+    cfg.opt.timeoutBase = 1;
+    cfg.opt.maxRetries = 1;
+    cfg.opt.dedupResends = true;
+    cfg.opt.por = true;
+    ExploreResult res = Explorer(cfg).explore();
+    if (!res.violations.empty()) {
+        ADD_FAILURE() << Explorer::renderViolation(
+            cfg, res.violations[0], res.violations[0]);
+    }
+    EXPECT_TRUE(res.complete);
+    EXPECT_FALSE(res.budgetExhausted);
 }
 
 TEST(Verify, ReplayReproducesCanonicalState)

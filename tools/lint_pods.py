@@ -42,10 +42,20 @@ hot paths rely on but the compiler only partially enforces:
     memcpys headers and the JSONL/Perfetto exporters do stride math
     on these layouts.
 
+ 8. The model checker's hot PODs keep their frozen layouts:
+    ActionFootprint (verify/por.hh) stays a packed 24-byte
+    fixed-width struct -- the explorer stores one per frame slot
+    and per sleep-set entry, so the independence test is a pure
+    bit-ops inline -- and LivenessFrame (verify/liveness.hh) stays
+    an 8-byte pair so the iterative Tarjan stack holds millions of
+    frames without blowing memory on the widest configs. Size and
+    trivially-copyable static_asserts must stay in both headers.
+
 Run from the repo root:  python3 tools/lint_pods.py
 Exit status 0 iff every check passes; findings go to stderr.
-'--selftest' additionally feeds check 7 a deliberately corrupted
-struct and fails unless the lint flags it (guards the guard).
+'--selftest' additionally feeds checks 7 and 8 deliberately
+corrupted structs and fails unless the lint flags them (guards the
+guard).
 """
 
 import pathlib
@@ -239,6 +249,37 @@ def check_metric_pods(text=None):
                              f"<{name}> static_assert")
 
 
+VERIFY_PODS = (
+    ("por.hh", "ActionFootprint", 24,
+     {"std::uint64_t", "std::uint32_t", "std::uint8_t"}),
+    ("liveness.hh", "LivenessFrame", 8, {"std::uint32_t"}),
+)
+
+
+def check_verify_pods(texts=None):
+    for fname, name, size, fixed in VERIFY_PODS:
+        path = SRC / "verify" / fname
+        text = texts[name] if texts else path.read_text()
+        body, line = extract_struct(text, name)
+        if body is None:
+            fail(path, 1, f"struct {name} not found")
+            continue
+        for off, mtype, member in member_lines(body):
+            if mtype not in fixed:
+                fail(path, line + off,
+                     f"{name} member '{member}' has non-fixed-width "
+                     f"type '{mtype}' ({size}-byte POD contract)")
+        if not re.search(r"static_assert\(sizeof\(" + name +
+                         r"\)\s*==\s*" + str(size), text):
+            fail(path, line,
+                 f"missing sizeof({name}) == {size} static_assert")
+        if not re.search(r"static_assert\(\s*std::"
+                         r"is_trivially_copyable_v<" + name + ">",
+                         text):
+            fail(path, line, f"missing is_trivially_copyable_v"
+                             f"<{name}> static_assert")
+
+
 # Deliberately broken metrics PODs for --selftest: a non-fixed-width
 # member, a dynamic member and no static_asserts. Check 7 must flag
 # every struct here or the lint has gone blind.
@@ -257,20 +298,47 @@ struct MetricWindowHeader
 """
 
 
+# Deliberately broken verify PODs for --selftest: a size_t member,
+# a dynamic member and no static_asserts. Check 8 must flag every
+# struct here or the lint has gone blind.
+SELFTEST_BAD_VERIFY = {
+    "ActionFootprint": """
+struct ActionFootprint
+{
+    std::size_t comps = 0;
+    std::uint8_t global = 0;
+};
+""",
+    "LivenessFrame": """
+struct LivenessFrame
+{
+    std::uint32_t state = 0;
+    std::vector<std::uint32_t> edges;
+};
+""",
+}
+
+
 def selftest():
     check_metric_pods()
+    check_verify_pods()
     if errors:
         for e in errors:
             print(e, file=sys.stderr)
         print("lint_pods --selftest: repo sources must pass "
-              "check 7 first", file=sys.stderr)
+              "checks 7 and 8 first", file=sys.stderr)
         return 1
     check_metric_pods(text=SELFTEST_BAD)
+    check_verify_pods(texts=SELFTEST_BAD_VERIFY)
     flagged = list(errors)
     errors.clear()
     wanted = ["'slot'", "'label'", "sizeof(MetricId)",
               "sizeof(MetricWindowHeader)",
-              "is_trivially_copyable_v<MetricId>"]
+              "is_trivially_copyable_v<MetricId>",
+              "'comps'", "'edges'", "sizeof(ActionFootprint)",
+              "sizeof(LivenessFrame)",
+              "is_trivially_copyable_v<ActionFootprint>",
+              "is_trivially_copyable_v<LivenessFrame>"]
     missing = [w for w in wanted
                if not any(w in e for e in flagged)]
     if missing:
@@ -280,7 +348,7 @@ def selftest():
               f"flagged, missing findings about {missing}",
               file=sys.stderr)
         return 1
-    print(f"lint_pods --selftest: check 7 flagged all "
+    print(f"lint_pods --selftest: checks 7 and 8 flagged all "
           f"{len(flagged)} planted defects")
     return 0
 
@@ -294,6 +362,7 @@ def main():
     check_latency_sink()
     check_mailbox_slot()
     check_metric_pods()
+    check_verify_pods()
     if errors:
         for e in errors:
             print(e, file=sys.stderr)
